@@ -1,0 +1,25 @@
+//! Criterion bench: end-to-end evaluation of the four controller/BIST
+//! architectures (the workload behind the Figs. 1-4 comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stc_bist::{evaluate_architectures, ArchitectureOptions};
+use stc_fsm::benchmarks;
+
+fn architectures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("architectures");
+    group.sample_size(10);
+    let options = ArchitectureOptions {
+        patterns_per_session: 64,
+        ..ArchitectureOptions::default()
+    };
+    for name in ["tav", "shiftreg", "dk27"] {
+        let machine = benchmarks::by_name(name).expect("benchmark exists").machine;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &machine, |b, m| {
+            b.iter(|| evaluate_architectures(m, &options));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, architectures);
+criterion_main!(benches);

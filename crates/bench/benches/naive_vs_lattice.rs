@@ -1,0 +1,28 @@
+//! Criterion bench: the Mm-lattice search against the brute-force
+//! enumeration of all partition pairs (the ablation behind Theorem 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stc_fsm::{paper_example, random_machine};
+use stc_synth::{solve, solve_naive};
+
+fn naive_vs_lattice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("naive_vs_lattice");
+    group.sample_size(10);
+    let machines = vec![
+        ("paper_fig5".to_string(), paper_example()),
+        ("random_5".to_string(), random_machine("random_5", 5, 2, 2, 7)),
+        ("random_6".to_string(), random_machine("random_6", 6, 2, 2, 11)),
+    ];
+    for (name, machine) in &machines {
+        group.bench_with_input(BenchmarkId::new("lattice", name), machine, |b, m| {
+            b.iter(|| solve(m));
+        });
+        group.bench_with_input(BenchmarkId::new("naive", name), machine, |b, m| {
+            b.iter(|| solve_naive(m));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, naive_vs_lattice);
+criterion_main!(benches);

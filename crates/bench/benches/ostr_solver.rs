@@ -1,0 +1,31 @@
+//! Criterion bench: OSTR solver runtime on representative benchmark machines
+//! (the workload behind Table 1 of the paper).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stc_fsm::benchmarks;
+use stc_synth::{OstrSolver, SolverConfig};
+use std::time::Duration;
+
+fn bench_config() -> SolverConfig {
+    SolverConfig {
+        max_nodes: 50_000,
+        time_limit: Some(Duration::from_secs(5)),
+        lemma1_pruning: true,
+        stop_at_lower_bound: true,
+    }
+}
+
+fn ostr_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ostr_solver");
+    group.sample_size(10);
+    for name in ["tav", "shiftreg", "dk27", "dk15", "bbtas", "mc"] {
+        let machine = benchmarks::by_name(name).expect("benchmark exists").machine;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &machine, |b, m| {
+            b.iter(|| OstrSolver::new(bench_config()).solve(m));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ostr_solver);
+criterion_main!(benches);

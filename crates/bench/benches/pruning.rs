@@ -1,0 +1,34 @@
+//! Criterion bench: effect of the Lemma 1 pruning on solver runtime
+//! (the ablation behind Table 2 of the paper).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stc_fsm::benchmarks;
+use stc_synth::{OstrSolver, SolverConfig};
+use std::time::Duration;
+
+fn config(pruning: bool) -> SolverConfig {
+    SolverConfig {
+        max_nodes: 50_000,
+        time_limit: Some(Duration::from_secs(5)),
+        lemma1_pruning: pruning,
+        stop_at_lower_bound: false,
+    }
+}
+
+fn pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma1_pruning");
+    group.sample_size(10);
+    for name in ["tav", "dk15", "mc", "dk27"] {
+        let machine = benchmarks::by_name(name).expect("benchmark exists").machine;
+        group.bench_with_input(BenchmarkId::new("with_pruning", name), &machine, |b, m| {
+            b.iter(|| OstrSolver::new(config(true)).solve(m));
+        });
+        group.bench_with_input(BenchmarkId::new("without_pruning", name), &machine, |b, m| {
+            b.iter(|| OstrSolver::new(config(false)).solve(m));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pruning);
+criterion_main!(benches);

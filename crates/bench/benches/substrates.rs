@@ -1,0 +1,55 @@
+//! Criterion bench: substrate components (partition operators, logic
+//! minimisation, fault simulation, LFSR/MISR stepping).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stc_bist::{fault_list, lfsr_patterns, simulate_faults, Lfsr, Misr};
+use stc_encoding::{EncodedMachine, EncodingStrategy};
+use stc_fsm::benchmarks;
+use stc_logic::{synthesize_controller, SynthOptions};
+use stc_partition::{basis_partitions, big_m_operator, m_operator, Partition};
+
+fn substrates(c: &mut Criterion) {
+    let machine = benchmarks::by_name("shiftreg").expect("benchmark exists").machine;
+
+    c.bench_function("partition/basis_shiftreg", |b| {
+        b.iter(|| basis_partitions(&machine));
+    });
+    let pi = Partition::from_labels(&[0, 0, 1, 1, 2, 2, 3, 3]);
+    c.bench_function("partition/m_and_M_shiftreg", |b| {
+        b.iter(|| {
+            let m = m_operator(&machine, &pi);
+            big_m_operator(&machine, &m)
+        });
+    });
+
+    let encoded = EncodedMachine::new(&machine, EncodingStrategy::Binary);
+    c.bench_function("logic/synthesize_shiftreg", |b| {
+        b.iter(|| synthesize_controller(&encoded, SynthOptions::default()));
+    });
+
+    let logic = synthesize_controller(&encoded, SynthOptions::default());
+    let faults = fault_list(&logic.block.netlist);
+    let patterns = lfsr_patterns(logic.block.netlist.num_inputs(), 64, 1);
+    c.bench_function("bist/fault_sim_shiftreg", |b| {
+        b.iter(|| simulate_faults(&logic.block.netlist, &patterns, &faults, None));
+    });
+
+    c.bench_function("bist/lfsr_16bit_1k_steps", |b| {
+        b.iter(|| {
+            let mut l = Lfsr::with_primitive_polynomial(16, 0xACE1);
+            (0..1000).map(|_| l.step()).sum::<u64>()
+        });
+    });
+    c.bench_function("bist/misr_16bit_1k_absorbs", |b| {
+        b.iter(|| {
+            let mut m = Misr::new(16, 1);
+            for i in 0..1000u32 {
+                m.absorb(&[i % 2 == 0, i % 3 == 0, i % 5 == 0]);
+            }
+            m.signature()
+        });
+    });
+}
+
+criterion_group!(benches, substrates);
+criterion_main!(benches);

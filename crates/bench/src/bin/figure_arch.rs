@@ -1,0 +1,44 @@
+//! Regenerates the quantitative comparison behind Figs. 1–4 of the paper:
+//! flip-flop count, gate/literal area, logic depth and achievable stuck-at
+//! fault coverage of the four controller/BIST architectures.
+//!
+//! Run with `cargo run --release -p stc-bench --bin figure_arch`.
+
+use stc_bist::ArchitectureOptions;
+
+fn main() {
+    let options = ArchitectureOptions::default();
+    let rows = stc_bench::run_architecture_experiments(&options);
+    print!("{}", stc_bench::format_architecture_table(&rows));
+
+    // Aggregate summary: how often does the pipeline structure win?
+    let mut fewer_or_equal_ff = 0usize;
+    let mut no_added_delay = 0usize;
+    let mut full_coverage = 0usize;
+    for row in &rows {
+        let conv_bist = &row.reports[1];
+        let pipeline = &row.reports[3];
+        if pipeline.flipflops <= conv_bist.flipflops {
+            fewer_or_equal_ff += 1;
+        }
+        if pipeline.logic_depth <= conv_bist.logic_depth {
+            no_added_delay += 1;
+        }
+        if pipeline.untestable_faults == 0 {
+            full_coverage += 1;
+        }
+    }
+    println!();
+    println!(
+        "pipeline needs no more flip-flops than conventional BIST on {fewer_or_equal_ff}/{} machines",
+        rows.len()
+    );
+    println!(
+        "pipeline adds no bypass delay on {no_added_delay}/{} machines (conventional BIST always adds one level)",
+        rows.len()
+    );
+    println!(
+        "pipeline has no structurally untestable faults on {full_coverage}/{} machines",
+        rows.len()
+    );
+}

@@ -1,0 +1,22 @@
+//! Regenerates Table 1 of the paper: OSTR results for the benchmark suite.
+//!
+//! Run with `cargo run --release -p stc-bench --bin table1`.
+
+fn main() {
+    let rows = stc_bench::run_all_ostr_experiments(stc_bench::table_solver_config());
+    print!("{}", stc_bench::format_table1(&rows));
+    let nontrivial = rows.iter().filter(|r| r.nontrivial()).count();
+    let fewer_ff = rows
+        .iter()
+        .filter(|r| r.pipeline_ff < r.conventional_bist_ff)
+        .count();
+    println!();
+    println!(
+        "non-trivial decompositions: {nontrivial}/{} (paper: 8/13)",
+        rows.len()
+    );
+    println!(
+        "machines needing fewer flip-flops than a conventional BIST: {fewer_ff}/{} (paper: 4/13)",
+        rows.len()
+    );
+}

@@ -1,0 +1,26 @@
+//! Regenerates Table 2 of the paper: the impact of the Lemma 1 pruning on the
+//! number of search-tree nodes investigated.
+//!
+//! Run with `cargo run --release -p stc-bench --bin table2`.
+
+fn main() {
+    let rows = stc_bench::run_all_ostr_experiments(stc_bench::table_solver_config());
+    print!("{}", stc_bench::format_table2(&rows));
+    println!();
+    for r in &rows {
+        let full: f64 = (r.log2_tree_size as f64).exp2();
+        let fraction = if full.is_finite() && full > 0.0 {
+            r.nodes_investigated as f64 / full
+        } else {
+            0.0
+        };
+        println!(
+            "{:<9} investigated {:>10} of 2^{} nodes ({:.3e} of the full tree){}",
+            r.name,
+            r.nodes_investigated,
+            r.log2_tree_size,
+            fraction,
+            if r.budget_exhausted { "  [budget]" } else { "" }
+        );
+    }
+}

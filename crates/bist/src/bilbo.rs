@@ -1,0 +1,221 @@
+//! BILBO-style multi-functional test registers.
+//!
+//! A BILBO (Built-In Logic Block Observation) register can operate as a plain
+//! system register, as a pseudo-random pattern generator (LFSR), as a
+//! multiple-input signature register, or in a transparent/scan mode.  The
+//! conventional BIST architecture of Fig. 2 of the paper needs an extra such
+//! register `T` with a transparent system mode; the pipeline architecture of
+//! Fig. 4 only ever uses its two registers in system, pattern-generation or
+//! signature-analysis mode — no transparency is required, which is one of the
+//! paper's arguments for the structure.
+
+use crate::lfsr::PRIMITIVE_TAPS;
+use serde::{Deserialize, Serialize};
+
+/// Operating mode of a [`Bilbo`] register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BilboMode {
+    /// Plain parallel-load system register.
+    System,
+    /// Autonomous pseudo-random pattern generation (LFSR).
+    PatternGeneration,
+    /// Test-response compaction (MISR).
+    SignatureAnalysis,
+    /// Transparent: the parallel inputs are passed through combinationally.
+    /// Needed by the extra test register of the conventional BIST structure;
+    /// adds a multiplexer to the system path.
+    Transparent,
+}
+
+/// A multi-functional (BILBO-style) register model.
+///
+/// # Example
+///
+/// ```
+/// use stc_bist::{Bilbo, BilboMode};
+///
+/// let mut reg = Bilbo::new(4, 0b1010);
+/// reg.set_mode(BilboMode::PatternGeneration);
+/// let p1 = reg.clock(&[false; 4]);
+/// let p2 = reg.clock(&[false; 4]);
+/// assert_ne!(p1, p2, "pattern generation advances autonomously");
+///
+/// reg.set_mode(BilboMode::System);
+/// let loaded = reg.clock(&[true, false, false, true]);
+/// assert_eq!(loaded, vec![true, false, false, true]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bilbo {
+    width: u32,
+    taps: Vec<u32>,
+    state: u64,
+    mode: BilboMode,
+}
+
+impl Bilbo {
+    /// Creates a register of the given width with the given initial contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=24`.
+    #[must_use]
+    pub fn new(width: u32, seed: u64) -> Self {
+        assert!(
+            (1..PRIMITIVE_TAPS.len() as u32).contains(&width),
+            "BILBO widths are limited to 1..=24"
+        );
+        Self {
+            width,
+            taps: PRIMITIVE_TAPS[width as usize].to_vec(),
+            state: seed & ((1u64 << width) - 1),
+            mode: BilboMode::System,
+        }
+    }
+
+    /// The register width.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The current operating mode.
+    #[must_use]
+    pub fn mode(&self) -> BilboMode {
+        self.mode
+    }
+
+    /// Switches the operating mode.
+    pub fn set_mode(&mut self, mode: BilboMode) {
+        self.mode = mode;
+    }
+
+    /// The current register contents as bits (most significant first).
+    #[must_use]
+    pub fn contents(&self) -> Vec<bool> {
+        (0..self.width)
+            .rev()
+            .map(|b| (self.state >> b) & 1 == 1)
+            .collect()
+    }
+
+    /// The current register contents as an integer.
+    #[must_use]
+    pub fn contents_word(&self) -> u64 {
+        self.state
+    }
+
+    /// Loads explicit contents (e.g. to seed a test session).
+    pub fn load(&mut self, value: u64) {
+        self.state = value & ((1u64 << self.width) - 1);
+    }
+
+    /// Applies one clock edge with the given parallel input and returns the
+    /// register's (new) outputs.
+    ///
+    /// * `System` — the parallel input is captured.
+    /// * `PatternGeneration` — the register steps autonomously as an LFSR and
+    ///   ignores the parallel input.
+    /// * `SignatureAnalysis` — the register steps as a MISR absorbing the
+    ///   parallel input.
+    /// * `Transparent` — the register passes the parallel input through
+    ///   without storing it (contents unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parallel_input.len()` differs from the register width.
+    pub fn clock(&mut self, parallel_input: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            parallel_input.len() as u32,
+            self.width,
+            "parallel input width mismatch"
+        );
+        match self.mode {
+            BilboMode::System => {
+                self.state = bits_to_word(parallel_input);
+                self.contents()
+            }
+            BilboMode::PatternGeneration => {
+                self.lfsr_step(0);
+                self.contents()
+            }
+            BilboMode::SignatureAnalysis => {
+                self.lfsr_step(bits_to_word(parallel_input));
+                self.contents()
+            }
+            BilboMode::Transparent => parallel_input.to_vec(),
+        }
+    }
+
+    fn lfsr_step(&mut self, inject: u64) {
+        let feedback = self
+            .taps
+            .iter()
+            .fold(0u64, |acc, &t| acc ^ ((self.state >> (t - 1)) & 1));
+        self.state = (((self.state << 1) | feedback) ^ inject) & ((1u64 << self.width) - 1);
+    }
+}
+
+fn bits_to_word(bits: &[bool]) -> u64 {
+    bits.iter().fold(0u64, |acc, &b| (acc << 1) | u64::from(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_mode_captures_inputs() {
+        let mut r = Bilbo::new(3, 0);
+        r.set_mode(BilboMode::System);
+        assert_eq!(r.clock(&[true, true, false]), vec![true, true, false]);
+        assert_eq!(r.contents_word(), 0b110);
+    }
+
+    #[test]
+    fn pattern_generation_ignores_inputs_and_cycles() {
+        let mut r = Bilbo::new(4, 0b0001);
+        r.set_mode(BilboMode::PatternGeneration);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..15 {
+            r.clock(&[true, true, true, true]);
+            seen.insert(r.contents_word());
+        }
+        assert_eq!(seen.len(), 15, "maximal-length sequence");
+    }
+
+    #[test]
+    fn signature_analysis_depends_on_the_responses() {
+        let mut a = Bilbo::new(6, 1);
+        let mut b = Bilbo::new(6, 1);
+        a.set_mode(BilboMode::SignatureAnalysis);
+        b.set_mode(BilboMode::SignatureAnalysis);
+        for i in 0..32u32 {
+            let resp = [(i % 3) == 0, (i % 5) == 0, false, true, (i % 2) == 0, false];
+            a.clock(&resp);
+            let mut flipped = resp;
+            if i == 20 {
+                flipped[3] = !flipped[3];
+            }
+            b.clock(&flipped);
+        }
+        assert_ne!(a.contents_word(), b.contents_word());
+    }
+
+    #[test]
+    fn transparent_mode_passes_through_without_storing() {
+        let mut r = Bilbo::new(2, 0b11);
+        r.set_mode(BilboMode::Transparent);
+        assert_eq!(r.clock(&[false, true]), vec![false, true]);
+        assert_eq!(r.contents_word(), 0b11, "contents untouched");
+    }
+
+    #[test]
+    fn load_and_mode_switching() {
+        let mut r = Bilbo::new(5, 0);
+        r.load(0b10110);
+        assert_eq!(r.contents_word(), 0b10110);
+        assert_eq!(r.mode(), BilboMode::System);
+        r.set_mode(BilboMode::SignatureAnalysis);
+        assert_eq!(r.mode(), BilboMode::SignatureAnalysis);
+    }
+}

@@ -1,0 +1,231 @@
+//! The single-stuck-at fault model and fault simulation of combinational
+//! netlists.
+
+use serde::{Deserialize, Serialize};
+use stc_logic::{Netlist, NodeId};
+
+/// A single stuck-at fault: one netlist node permanently forced to a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StuckAtFault {
+    /// The faulty node.
+    pub node: NodeId,
+    /// The value the node is stuck at.
+    pub stuck_at: bool,
+}
+
+impl StuckAtFault {
+    /// Creates a stuck-at-0 fault on `node`.
+    #[must_use]
+    pub fn stuck_at_0(node: NodeId) -> Self {
+        Self {
+            node,
+            stuck_at: false,
+        }
+    }
+
+    /// Creates a stuck-at-1 fault on `node`.
+    #[must_use]
+    pub fn stuck_at_1(node: NodeId) -> Self {
+        Self {
+            node,
+            stuck_at: true,
+        }
+    }
+}
+
+/// Enumerates the complete single-stuck-at fault list of a netlist: every
+/// gate output and every primary input, stuck at 0 and at 1.
+#[must_use]
+pub fn fault_list(netlist: &Netlist) -> Vec<StuckAtFault> {
+    netlist
+        .fault_sites()
+        .into_iter()
+        .flat_map(|node| {
+            [
+                StuckAtFault::stuck_at_0(node),
+                StuckAtFault::stuck_at_1(node),
+            ]
+        })
+        .collect()
+}
+
+/// The result of simulating a pattern set against a fault list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSimReport {
+    /// Total number of faults simulated.
+    pub total_faults: usize,
+    /// Number of faults detected by at least one pattern.
+    pub detected: usize,
+    /// The faults that no pattern detected.
+    pub undetected: Vec<StuckAtFault>,
+    /// Number of patterns applied.
+    pub patterns: usize,
+}
+
+impl FaultSimReport {
+    /// Fault coverage as a fraction in `[0, 1]`.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.total_faults == 0 {
+            1.0
+        } else {
+            self.detected as f64 / self.total_faults as f64
+        }
+    }
+}
+
+/// Serial fault simulation: for every fault, every pattern is applied to the
+/// good and the faulty circuit and the primary outputs are compared.  A fault
+/// is *detected* if some pattern produces differing outputs.
+///
+/// `observable_outputs` optionally restricts which primary outputs are
+/// observed (e.g. only those compacted by a signature register); `None`
+/// observes all outputs.
+#[must_use]
+pub fn simulate_faults(
+    netlist: &Netlist,
+    patterns: &[Vec<bool>],
+    faults: &[StuckAtFault],
+    observable_outputs: Option<&[usize]>,
+) -> FaultSimReport {
+    let good_responses: Vec<Vec<bool>> = patterns.iter().map(|p| netlist.evaluate(p)).collect();
+    let observed = |out: &[bool]| -> Vec<bool> {
+        match observable_outputs {
+            None => out.to_vec(),
+            Some(idx) => idx.iter().map(|&i| out[i]).collect(),
+        }
+    };
+    let mut undetected = Vec::new();
+    let mut detected = 0usize;
+    for fault in faults {
+        let mut found = false;
+        for (pattern, good) in patterns.iter().zip(&good_responses) {
+            let bad = netlist.evaluate_with_fault(pattern, Some((fault.node, fault.stuck_at)));
+            if observed(&bad) != observed(good) {
+                found = true;
+                break;
+            }
+        }
+        if found {
+            detected += 1;
+        } else {
+            undetected.push(*fault);
+        }
+    }
+    FaultSimReport {
+        total_faults: faults.len(),
+        detected,
+        undetected,
+        patterns: patterns.len(),
+    }
+}
+
+/// Generates the exhaustive pattern set for a netlist with few inputs.
+///
+/// # Panics
+///
+/// Panics if the netlist has more than 20 inputs (the pattern set would have
+/// more than a million entries); use LFSR-generated pseudo-random patterns
+/// instead.
+#[must_use]
+pub fn exhaustive_patterns(num_inputs: usize) -> Vec<Vec<bool>> {
+    assert!(num_inputs <= 20, "exhaustive patterns limited to 20 inputs");
+    (0u64..(1u64 << num_inputs))
+        .map(|v| {
+            (0..num_inputs)
+                .rev()
+                .map(|b| (v >> b) & 1 == 1)
+                .collect()
+        })
+        .collect()
+}
+
+/// Generates `count` pseudo-random patterns of the given width from an LFSR
+/// with a primitive polynomial (width capped at 24 internally; wider patterns
+/// are produced by concatenating successive LFSR states).
+#[must_use]
+pub fn lfsr_patterns(width: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
+    let chunk = width.clamp(1, 24) as u32;
+    let mut lfsr = crate::Lfsr::with_primitive_polynomial(chunk, seed.max(1));
+    (0..count)
+        .map(|_| {
+            let mut bits = Vec::with_capacity(width);
+            while bits.len() < width {
+                lfsr.step();
+                let state_bits = lfsr.state_bits();
+                let take = (width - bits.len()).min(state_bits.len());
+                bits.extend_from_slice(&state_bits[..take]);
+            }
+            bits
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stc_logic::{Cover, Cube};
+
+    fn xor_netlist() -> Netlist {
+        let cover = Cover::from_cubes(
+            2,
+            vec![Cube::parse("10").unwrap(), Cube::parse("01").unwrap()],
+        );
+        Netlist::from_covers(2, &[cover])
+    }
+
+    #[test]
+    fn exhaustive_patterns_cover_all_vectors() {
+        let p = exhaustive_patterns(3);
+        assert_eq!(p.len(), 8);
+        assert_eq!(p[5], vec![true, false, true]);
+    }
+
+    #[test]
+    fn exhaustive_test_of_xor_detects_every_fault() {
+        let n = xor_netlist();
+        let faults = fault_list(&n);
+        let report = simulate_faults(&n, &exhaustive_patterns(2), &faults, None);
+        assert_eq!(report.total_faults, faults.len());
+        assert_eq!(report.detected, report.total_faults, "{:?}", report.undetected);
+        assert!((report.coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_patterns_detect_nothing() {
+        let n = xor_netlist();
+        let faults = fault_list(&n);
+        let report = simulate_faults(&n, &[], &faults, None);
+        assert_eq!(report.detected, 0);
+        assert_eq!(report.undetected.len(), faults.len());
+    }
+
+    #[test]
+    fn restricted_observability_reduces_coverage() {
+        // Two outputs: f = a, g = b.  If only f is observed, faults on b's
+        // path go undetected.
+        let f = Cover::from_cubes(2, vec![Cube::parse("1-").unwrap()]);
+        let g = Cover::from_cubes(2, vec![Cube::parse("-1").unwrap()]);
+        let n = Netlist::from_covers(2, &[f, g]);
+        let faults = fault_list(&n);
+        let all = simulate_faults(&n, &exhaustive_patterns(2), &faults, None);
+        let only_f = simulate_faults(&n, &exhaustive_patterns(2), &faults, Some(&[0]));
+        assert!(only_f.detected < all.detected);
+    }
+
+    #[test]
+    fn lfsr_patterns_have_the_requested_shape() {
+        let p = lfsr_patterns(10, 37, 5);
+        assert_eq!(p.len(), 37);
+        assert!(p.iter().all(|x| x.len() == 10));
+        // Deterministic for a fixed seed.
+        assert_eq!(p, lfsr_patterns(10, 37, 5));
+        assert_ne!(p, lfsr_patterns(10, 37, 6));
+    }
+
+    #[test]
+    fn fault_list_has_two_faults_per_site() {
+        let n = xor_netlist();
+        assert_eq!(fault_list(&n).len(), 2 * n.fault_sites().len());
+    }
+}

@@ -1,0 +1,219 @@
+//! Linear feedback shift registers (LFSRs) for pseudo-random test-pattern
+//! generation.
+
+use serde::{Deserialize, Serialize};
+
+/// Primitive polynomial feedback taps for LFSR widths 1..=24.
+///
+/// Entry `PRIMITIVE_TAPS[w]` lists the tap positions (1-based, as in the usual
+/// `x^w + x^t + … + 1` notation) of a primitive polynomial of degree `w`, so
+/// the corresponding LFSR runs through all `2^w − 1` non-zero states.
+pub const PRIMITIVE_TAPS: [&[u32]; 25] = [
+    &[],            // width 0 (unused)
+    &[1],           // x + 1
+    &[2, 1],        // x^2 + x + 1
+    &[3, 2],        // x^3 + x^2 + 1
+    &[4, 3],        // x^4 + x^3 + 1
+    &[5, 3],        // x^5 + x^3 + 1
+    &[6, 5],        // x^6 + x^5 + 1
+    &[7, 6],        // x^7 + x^6 + 1
+    &[8, 6, 5, 4],  // x^8 + x^6 + x^5 + x^4 + 1
+    &[9, 5],        // x^9 + x^5 + 1
+    &[10, 7],       // x^10 + x^7 + 1
+    &[11, 9],       // x^11 + x^9 + 1
+    &[12, 11, 10, 4],
+    &[13, 12, 11, 8],
+    &[14, 13, 12, 2],
+    &[15, 14],
+    &[16, 15, 13, 4],
+    &[17, 14],
+    &[18, 11],
+    &[19, 18, 17, 14],
+    &[20, 17],
+    &[21, 19],
+    &[22, 21],
+    &[23, 18],
+    &[24, 23, 22, 17],
+];
+
+/// A Fibonacci (external-XOR) linear feedback shift register.
+///
+/// The register's parallel output is used as a pseudo-random test pattern;
+/// with a primitive feedback polynomial the sequence visits every non-zero
+/// state exactly once per period of `2^width − 1` steps.
+///
+/// # Example
+///
+/// ```
+/// use stc_bist::Lfsr;
+///
+/// let mut lfsr = Lfsr::with_primitive_polynomial(4, 0b1001);
+/// let first = lfsr.state();
+/// let patterns: Vec<u64> = (0..15).map(|_| lfsr.step()).collect();
+/// assert_eq!(lfsr.state(), first, "period of a primitive degree-4 LFSR is 15");
+/// assert_eq!(patterns.iter().collect::<std::collections::HashSet<_>>().len(), 15);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lfsr {
+    width: u32,
+    taps: Vec<u32>,
+    state: u64,
+}
+
+impl Lfsr {
+    /// Creates an LFSR with an explicit tap list (1-based positions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 63, if a tap is out of range,
+    /// or if the seed is zero (an all-zero LFSR state never changes).
+    #[must_use]
+    pub fn new(width: u32, taps: &[u32], seed: u64) -> Self {
+        assert!(width > 0 && width <= 63, "width must be in 1..=63");
+        assert!(
+            taps.iter().all(|&t| t >= 1 && t <= width),
+            "taps must lie in 1..=width"
+        );
+        assert!(!taps.is_empty(), "at least one tap is required");
+        let seed = seed & ((1u64 << width) - 1);
+        assert!(seed != 0, "the all-zero seed locks up an LFSR");
+        Self {
+            width,
+            taps: taps.to_vec(),
+            state: seed,
+        }
+    }
+
+    /// Creates an LFSR of the given width using the built-in primitive
+    /// polynomial table, so the period is maximal (`2^width − 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=24` or the seed is zero.
+    #[must_use]
+    pub fn with_primitive_polynomial(width: u32, seed: u64) -> Self {
+        assert!(
+            (1..PRIMITIVE_TAPS.len() as u32).contains(&width),
+            "primitive polynomials are tabulated for widths 1..=24"
+        );
+        Self::new(width, PRIMITIVE_TAPS[width as usize], seed)
+    }
+
+    /// The register width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The current register contents.
+    #[must_use]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// The current register contents as a bit vector (most significant bit
+    /// first), the form consumed by netlist evaluation.
+    #[must_use]
+    pub fn state_bits(&self) -> Vec<bool> {
+        (0..self.width)
+            .rev()
+            .map(|b| (self.state >> b) & 1 == 1)
+            .collect()
+    }
+
+    /// Advances the register by one clock and returns the *new* state.
+    pub fn step(&mut self) -> u64 {
+        let feedback = self
+            .taps
+            .iter()
+            .fold(0u64, |acc, &t| acc ^ ((self.state >> (t - 1)) & 1));
+        self.state = ((self.state << 1) | feedback) & ((1u64 << self.width) - 1);
+        self.state
+    }
+
+    /// Generates `count` consecutive patterns (the states after each step).
+    pub fn patterns(&mut self, count: usize) -> Vec<u64> {
+        (0..count).map(|_| self.step()).collect()
+    }
+
+    /// Measures the period of the LFSR from its current state (number of steps
+    /// until the state repeats).  Intended for widths small enough to iterate.
+    #[must_use]
+    pub fn period(&self) -> u64 {
+        let mut copy = self.clone();
+        let start = copy.state();
+        let mut steps = 0u64;
+        loop {
+            copy.step();
+            steps += 1;
+            if copy.state() == start {
+                return steps;
+            }
+            assert!(
+                steps < (1u64 << self.width.min(32)) + 1,
+                "period exceeds the state space — inconsistent LFSR"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_polynomials_have_maximal_period() {
+        for width in 1..=12u32 {
+            let lfsr = Lfsr::with_primitive_polynomial(width, 1);
+            assert_eq!(
+                lfsr.period(),
+                (1u64 << width) - 1,
+                "width {width} is not primitive"
+            );
+        }
+    }
+
+    #[test]
+    fn all_nonzero_states_are_visited() {
+        let mut lfsr = Lfsr::with_primitive_polynomial(6, 0b101);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..63 {
+            seen.insert(lfsr.step());
+        }
+        assert_eq!(seen.len(), 63);
+        assert!(!seen.contains(&0));
+    }
+
+    #[test]
+    fn state_bits_match_state() {
+        let lfsr = Lfsr::with_primitive_polynomial(5, 0b10110);
+        let bits = lfsr.state_bits();
+        assert_eq!(bits.len(), 5);
+        let reconstructed = bits
+            .iter()
+            .fold(0u64, |acc, &b| (acc << 1) | u64::from(b));
+        assert_eq!(reconstructed, lfsr.state());
+    }
+
+    #[test]
+    fn patterns_returns_consecutive_states() {
+        let mut a = Lfsr::with_primitive_polynomial(8, 42);
+        let mut b = a.clone();
+        let pats = a.patterns(10);
+        for p in pats {
+            assert_eq!(p, b.step());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero seed")]
+    fn zero_seed_is_rejected() {
+        let _ = Lfsr::with_primitive_polynomial(4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_is_rejected() {
+        let _ = Lfsr::new(0, &[1], 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! Built-in self-test (BIST) substrate: test registers, the single-stuck-at
+//! fault model, fault simulation and the controller/BIST architecture
+//! comparison of the paper.
+//!
+//! * [`Lfsr`], [`Misr`], [`Bilbo`] — the multi-functional test registers used
+//!   for pattern generation and signature analysis;
+//! * [`fault_list`], [`simulate_faults`] — single-stuck-at fault enumeration
+//!   and serial fault simulation over gate-level netlists from `stc-logic`;
+//! * [`evaluate_architectures`] — the quantitative comparison of the four
+//!   structures of Figs. 1–4 (flip-flops, gates, literals, logic depth,
+//!   achievable fault coverage, untestable feedback-line faults);
+//! * [`pipeline_self_test`] — the two-session self-test of the pipeline
+//!   structure with signature-based fault detection.
+//!
+//! # Example
+//!
+//! ```
+//! use stc_bist::{evaluate_architectures, Architecture, ArchitectureOptions};
+//! use stc_fsm::paper_example;
+//!
+//! let reports = evaluate_architectures(&paper_example(), &ArchitectureOptions::default());
+//! let pipeline = &reports[3];
+//! let conventional_bist = &reports[1];
+//! assert_eq!(pipeline.architecture, Architecture::PipelineBist);
+//! assert!(pipeline.flipflops <= conventional_bist.flipflops);
+//! assert_eq!(pipeline.untestable_faults, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod architecture;
+mod bilbo;
+mod fault;
+mod lfsr;
+mod misr;
+mod session;
+
+pub use architecture::{
+    evaluate_architectures, Architecture, ArchitectureOptions, ArchitectureReport,
+};
+pub use bilbo::{Bilbo, BilboMode};
+pub use fault::{
+    exhaustive_patterns, fault_list, lfsr_patterns, simulate_faults, FaultSimReport, StuckAtFault,
+};
+pub use lfsr::{Lfsr, PRIMITIVE_TAPS};
+pub use misr::Misr;
+pub use session::{pipeline_self_test, SelfTestResult, SessionResult};

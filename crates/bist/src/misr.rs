@@ -1,0 +1,163 @@
+//! Multiple-input signature registers (MISRs) for test-response compaction.
+
+use crate::lfsr::PRIMITIVE_TAPS;
+use serde::{Deserialize, Serialize};
+
+/// A multiple-input signature register.
+///
+/// A MISR is an LFSR whose stages additionally XOR one response bit per clock;
+/// after the test session the register contents (the *signature*) are compared
+/// against the fault-free signature.  Aliasing (a faulty response producing
+/// the good signature) has probability about `2^-width`.
+///
+/// # Example
+///
+/// ```
+/// use stc_bist::Misr;
+///
+/// let mut good = Misr::new(8, 1);
+/// let mut faulty = Misr::new(8, 1);
+/// for step in 0..100u32 {
+///     let response = vec![step % 3 == 0, step % 5 == 0];
+///     good.absorb(&response);
+///     // The faulty circuit differs in one response bit at step 17.
+///     let mut bad = response.clone();
+///     if step == 17 { bad[0] = !bad[0]; }
+///     faulty.absorb(&bad);
+/// }
+/// assert_ne!(good.signature(), faulty.signature());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Misr {
+    width: u32,
+    taps: Vec<u32>,
+    state: u64,
+}
+
+impl Misr {
+    /// Creates a MISR of the given width with a primitive feedback polynomial
+    /// and the given initial contents (the seed may be zero for a MISR).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=24`.
+    #[must_use]
+    pub fn new(width: u32, seed: u64) -> Self {
+        assert!(
+            (1..PRIMITIVE_TAPS.len() as u32).contains(&width),
+            "primitive polynomials are tabulated for widths 1..=24"
+        );
+        Self {
+            width,
+            taps: PRIMITIVE_TAPS[width as usize].to_vec(),
+            state: seed & ((1u64 << width) - 1),
+        }
+    }
+
+    /// The register width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The current signature.
+    #[must_use]
+    pub fn signature(&self) -> u64 {
+        self.state
+    }
+
+    /// Absorbs one clock's worth of response bits.  If the response is wider
+    /// than the register, the extra bits are folded (XORed) onto the existing
+    /// stages; if narrower, the remaining stages only shift.
+    pub fn absorb(&mut self, response: &[bool]) {
+        // LFSR step.
+        let feedback = self
+            .taps
+            .iter()
+            .fold(0u64, |acc, &t| acc ^ ((self.state >> (t - 1)) & 1));
+        let mut next = ((self.state << 1) | feedback) & ((1u64 << self.width) - 1);
+        // Parallel response injection.
+        for (i, &bit) in response.iter().enumerate() {
+            if bit {
+                next ^= 1 << (i as u32 % self.width);
+            }
+        }
+        self.state = next;
+    }
+
+    /// Absorbs a whole sequence of responses.
+    pub fn absorb_all<'a, I>(&mut self, responses: I)
+    where
+        I: IntoIterator<Item = &'a [bool]>,
+    {
+        for r in responses {
+            self.absorb(r);
+        }
+    }
+
+    /// Resets the register to a new seed.
+    pub fn reset(&mut self, seed: u64) {
+        self.state = seed & ((1u64 << self.width) - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_responses_give_identical_signatures() {
+        let responses: Vec<Vec<bool>> = (0..50u32)
+            .map(|i| vec![i % 2 == 0, i % 3 == 0, i % 7 == 0])
+            .collect();
+        let mut a = Misr::new(10, 3);
+        let mut b = Misr::new(10, 3);
+        a.absorb_all(responses.iter().map(Vec::as_slice));
+        b.absorb_all(responses.iter().map(Vec::as_slice));
+        assert_eq!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn single_bit_errors_change_the_signature() {
+        // Single-bit errors can never alias in an LFSR-based compactor.
+        let responses: Vec<Vec<bool>> = (0..64u32).map(|i| vec![i % 2 == 0, i % 5 == 0]).collect();
+        let mut good = Misr::new(12, 1);
+        good.absorb_all(responses.iter().map(Vec::as_slice));
+        for flip_step in [0usize, 13, 31, 63] {
+            let mut faulty = Misr::new(12, 1);
+            for (step, r) in responses.iter().enumerate() {
+                let mut r = r.clone();
+                if step == flip_step {
+                    r[1] = !r[1];
+                }
+                faulty.absorb(&r);
+            }
+            assert_ne!(good.signature(), faulty.signature(), "step {flip_step}");
+        }
+    }
+
+    #[test]
+    fn wide_responses_are_folded() {
+        let mut m = Misr::new(3, 0);
+        m.absorb(&[true, false, true, true]); // 4 bits into a 3-bit register
+        assert!(m.signature() < 8);
+    }
+
+    #[test]
+    fn reset_restores_the_seed() {
+        let mut m = Misr::new(6, 0b10101);
+        m.absorb(&[true, true]);
+        m.reset(0b10101);
+        assert_eq!(m.signature(), 0b10101);
+    }
+
+    #[test]
+    fn different_seeds_give_different_signatures() {
+        let responses: Vec<Vec<bool>> = (0..20u32).map(|i| vec![i % 4 == 0]).collect();
+        let mut a = Misr::new(8, 1);
+        let mut b = Misr::new(8, 2);
+        a.absorb_all(responses.iter().map(Vec::as_slice));
+        b.absorb_all(responses.iter().map(Vec::as_slice));
+        assert_ne!(a.signature(), b.signature());
+    }
+}

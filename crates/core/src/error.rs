@@ -1,0 +1,45 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for realization construction and the OSTR solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SynthError {
+    /// The supplied partitions do not partition the machine's state set.
+    GroundSetMismatch {
+        /// States of the machine.
+        machine_states: usize,
+        /// Ground set of the first partition.
+        pi_states: usize,
+        /// Ground set of the second partition.
+        tau_states: usize,
+    },
+    /// The supplied pair `(π, τ)` is not a symmetric partition pair.
+    NotSymmetricPair,
+    /// The pair violates the Theorem 1 condition `π ∩ τ ⊆ ε`.
+    IntersectionNotInEquivalence,
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::GroundSetMismatch {
+                machine_states,
+                pi_states,
+                tau_states,
+            } => write!(
+                f,
+                "partitions over {pi_states}/{tau_states} elements do not match a machine with {machine_states} states"
+            ),
+            SynthError::NotSymmetricPair => {
+                write!(f, "the pair (π, τ) is not a symmetric partition pair")
+            }
+            SynthError::IntersectionNotInEquivalence => write!(
+                f,
+                "the pair violates π ∩ τ ⊆ ε (states merged in both partitions are not equivalent)"
+            ),
+        }
+    }
+}
+
+impl Error for SynthError {}

@@ -1,0 +1,87 @@
+//! Property-based tests for the OSTR solver and the Theorem 1 construction.
+
+use crate::cost::Cost;
+use crate::realization::Realization;
+use crate::solver::{solve, OstrSolver, SolverConfig};
+use proptest::prelude::*;
+use stc_fsm::{crossed_product, random_machine, Mealy};
+use stc_partition::Partition;
+
+fn arb_machine() -> impl Strategy<Value = Mealy> {
+    (2usize..8, 1usize..4, 1usize..4, any::<u64>())
+        .prop_map(|(s, i, o, seed)| random_machine("prop", s, i, o, seed))
+}
+
+fn arb_toggleish(states: usize) -> impl Strategy<Value = Mealy> {
+    // A small machine with `states` states, 2 inputs and 2 outputs.
+    (any::<u64>(),).prop_map(move |(seed,)| random_machine("factor", states, 2, 2, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn solver_never_beats_the_information_theoretic_bound(machine in arb_machine()) {
+        let outcome = solve(&machine);
+        let n = machine.num_states();
+        // π ∩ τ ⊆ ε forces |S/π| · |S/τ| ≥ (number of ε-blocks).
+        let eps_blocks = stc_fsm::state_equivalence(&machine).num_blocks();
+        prop_assert!(outcome.best.cost.s1() * outcome.best.cost.s2() >= eps_blocks);
+        prop_assert!(outcome.best.cost <= Cost::trivial(n));
+    }
+
+    #[test]
+    fn solver_solution_always_realizes_the_machine(machine in arb_machine()) {
+        let outcome = solve(&machine);
+        let realization = outcome.best.realize(&machine);
+        prop_assert!(realization.verify(&machine).is_none());
+    }
+
+    #[test]
+    fn realizations_agree_on_random_words(machine in arb_machine(), word in proptest::collection::vec(0usize..4, 0..32)) {
+        let word: Vec<usize> = word.into_iter().map(|i| i % machine.num_inputs()).collect();
+        let outcome = solve(&machine);
+        let realization = outcome.best.realize(&machine);
+        let (out_spec, _) = machine.run_from_reset(&word);
+        let (out_real, _) = realization
+            .machine
+            .run(realization.alpha_index(machine.reset_state()), &word);
+        prop_assert_eq!(out_spec, out_real);
+    }
+
+    #[test]
+    fn crossed_products_always_decompose(a in arb_toggleish(2), b in arb_toggleish(2)) {
+        // A crossed product of two 2-state machines supports a self-testable
+        // structure by construction, so the solver must find a solution that
+        // is at least as good as (2, 2) — 2 flip-flops.
+        let product = crossed_product(&a, &b).unwrap();
+        let outcome = solve(&product);
+        prop_assert!(outcome.best.cost.register_bits() <= 2,
+            "expected ≤ 2 flip-flops, got {}", outcome.best.cost);
+    }
+
+    #[test]
+    fn pruning_is_conservative(machine in arb_machine()) {
+        // Lemma 1 must not change the optimum, only the node count.
+        let with = OstrSolver::new(SolverConfig::default()).solve(&machine);
+        let without = OstrSolver::new(SolverConfig {
+            lemma1_pruning: false,
+            max_nodes: 300_000,
+            ..SolverConfig::default()
+        })
+        .solve(&machine);
+        if !without.stats.budget_exhausted {
+            prop_assert_eq!(with.best.cost, without.best.cost);
+            prop_assert!(with.stats.nodes_investigated <= without.stats.nodes_investigated);
+        }
+    }
+
+    #[test]
+    fn trivial_realization_always_verifies(machine in arb_machine()) {
+        let n = machine.num_states();
+        let id = Partition::identity(n);
+        let r = Realization::from_symmetric_pair(&machine, id.clone(), id).unwrap();
+        prop_assert!(r.verify(&machine).is_none());
+        prop_assert_eq!(r.machine.num_states(), n * n);
+    }
+}

@@ -1,0 +1,430 @@
+//! The depth-first OSTR search procedure of section 3 of the paper.
+//!
+//! The search space is the tree of subsets of the ordered basis
+//! `𝔐 = { m(ρ_{s,t}) }`; a node 𝒩 induces the candidate partition
+//! `κ = (∪𝒩)^t` (the join of its members) and the Mm-partner `M(κ)`.
+//! At every node two candidate pairs are examined — `(M(κ), κ)` and
+//! `(m(κ), κ)` — and the subtree is discarded when the Lemma 1 criterion
+//! `m(κ) ∩ κ ⊄ ε` holds, because the criterion is monotone along tree edges.
+
+use crate::cost::Cost;
+use crate::realization::Realization;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+use stc_fsm::{state_equivalence, Mealy};
+use stc_partition::{
+    basis_partitions, big_m_operator, is_symmetric_pair, m_operator, Partition,
+};
+
+/// Configuration of the OSTR depth-first search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolverConfig {
+    /// Maximum number of search-tree nodes to investigate before giving up
+    /// and returning the best solution found so far (the paper's time limit
+    /// for `tbk` plays the same role).
+    pub max_nodes: u64,
+    /// Optional wall-clock limit.
+    pub time_limit: Option<Duration>,
+    /// Enable the Lemma 1 pruning (disable only for the ablation benchmark —
+    /// the search is exponential without it).
+    pub lemma1_pruning: bool,
+    /// Stop as soon as a solution reaching the information-theoretic lower
+    /// bound `|S1| · |S2| = |S|` with balanced factors is found.  This does
+    /// not change the result for any machine in the benchmark suite but
+    /// shortens the search for machines like `shiftreg`/`tav`.
+    pub stop_at_lower_bound: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self {
+            max_nodes: 2_000_000,
+            time_limit: Some(Duration::from_secs(30)),
+            lemma1_pruning: true,
+            stop_at_lower_bound: false,
+        }
+    }
+}
+
+/// Statistics gathered during the search (Table 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct SearchStats {
+    /// Size of the basis `|𝔐|`; the full search tree has `2^|𝔐|` nodes.
+    pub basis_size: usize,
+    /// Number of nodes actually investigated.
+    pub nodes_investigated: u64,
+    /// Number of subtrees discarded by the Lemma 1 criterion.
+    pub subtrees_pruned: u64,
+    /// Number of candidate pairs that were accepted as OSTR solutions
+    /// (improving or not).
+    pub solutions_found: u64,
+    /// `true` if the node or time budget was exhausted before the search
+    /// completed (the returned solution is then a best effort, like the
+    /// paper's `tbk` row).
+    pub budget_exhausted: bool,
+    /// Wall-clock time of the search, in microseconds.
+    pub elapsed_micros: u64,
+}
+
+impl SearchStats {
+    /// `log2` of the full search-tree size `2^|𝔐|`.
+    #[must_use]
+    pub fn log2_tree_size(&self) -> u32 {
+        self.basis_size as u32
+    }
+}
+
+/// A solution of problem OSTR: a symmetric partition pair with
+/// `π ∩ τ ⊆ ε`, its cost, and the Theorem 1 realization built from it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OstrSolution {
+    /// The first partition `π` (`S1 = S/π`).
+    pub pi: Partition,
+    /// The second partition `τ` (`S2 = S/τ`).
+    pub tau: Partition,
+    /// The OSTR cost of the pair.
+    pub cost: Cost,
+}
+
+impl OstrSolution {
+    /// `true` if this is the trivial doubling solution.
+    #[must_use]
+    pub fn is_trivial(&self) -> bool {
+        self.pi.is_identity() && self.tau.is_identity()
+    }
+
+    /// Builds the Theorem 1 realization for this solution.
+    #[must_use]
+    pub fn realize(&self, machine: &Mealy) -> Realization {
+        Realization::from_checked_pair(machine, self.pi.clone(), self.tau.clone())
+    }
+}
+
+/// The result of an OSTR search: the best solution found plus statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OstrOutcome {
+    /// The best (lowest-cost) solution found.  Always present: the trivial
+    /// doubling solution is a valid fallback.
+    pub best: OstrSolution,
+    /// Search statistics.
+    pub stats: SearchStats,
+}
+
+impl OstrOutcome {
+    /// Convenience: `⌈log2|S1|⌉ + ⌈log2|S2|⌉` of the best solution.
+    #[must_use]
+    pub fn pipeline_flipflops(&self) -> u32 {
+        self.best.cost.register_bits()
+    }
+}
+
+/// The OSTR solver.
+///
+/// # Example
+///
+/// ```
+/// use stc_fsm::paper_example;
+/// use stc_synth::{OstrSolver, SolverConfig};
+///
+/// let machine = paper_example();
+/// let outcome = OstrSolver::new(SolverConfig::default()).solve(&machine);
+/// // The paper's example decomposes into two 2-state factors (Fig. 6–8).
+/// assert_eq!(outcome.best.cost.s1(), 2);
+/// assert_eq!(outcome.best.cost.s2(), 2);
+/// assert_eq!(outcome.pipeline_flipflops(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OstrSolver {
+    config: SolverConfig,
+}
+
+struct SearchContext<'a> {
+    machine: &'a Mealy,
+    eps: Partition,
+    basis: Vec<Partition>,
+    config: SolverConfig,
+    deadline: Option<Instant>,
+    stats: SearchStats,
+    best: OstrSolution,
+    lower_bound_hit: bool,
+}
+
+impl OstrSolver {
+    /// Creates a solver with the given configuration.
+    #[must_use]
+    pub fn new(config: SolverConfig) -> Self {
+        Self { config }
+    }
+
+    /// Creates a solver with [`SolverConfig::default`].
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        Self::default()
+    }
+
+    /// The solver's configuration.
+    #[must_use]
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Runs the depth-first OSTR search on `machine`.
+    ///
+    /// The search always terminates with a valid solution because the trivial
+    /// doubling pair `(identity, identity)` is a solution of OSTR (the
+    /// identity intersection is contained in every `ε`).
+    #[must_use]
+    pub fn solve(&self, machine: &Mealy) -> OstrOutcome {
+        let start = Instant::now();
+        let n = machine.num_states();
+        let eps = state_equivalence(machine);
+        let basis = basis_partitions(machine);
+        let trivial = OstrSolution {
+            pi: Partition::identity(n),
+            tau: Partition::identity(n),
+            cost: Cost::trivial(n),
+        };
+        let mut ctx = SearchContext {
+            machine,
+            eps,
+            basis,
+            config: self.config,
+            deadline: self.config.time_limit.map(|d| start + d),
+            stats: SearchStats::default(),
+            best: trivial,
+            lower_bound_hit: false,
+        };
+        ctx.stats.basis_size = ctx.basis.len();
+
+        // The root node is the empty subset: κ = identity.  Evaluating it
+        // re-discovers the trivial solution; its children are the singleton
+        // subsets, explored in basis order.
+        let root = Partition::identity(n);
+        ctx.visit(&root, 0);
+
+        ctx.stats.elapsed_micros = start.elapsed().as_micros() as u64;
+        OstrOutcome {
+            best: ctx.best,
+            stats: ctx.stats,
+        }
+    }
+}
+
+impl SearchContext<'_> {
+    /// Visits the node whose κ is `kappa`, then recurses into children that
+    /// extend the subset with basis elements of index `>= next_index`.
+    fn visit(&mut self, kappa: &Partition, next_index: usize) {
+        if self.out_of_budget() {
+            return;
+        }
+        self.stats.nodes_investigated += 1;
+
+        // Candidate 1: (M(κ), κ).
+        let big_m = big_m_operator(self.machine, kappa);
+        self.try_candidate(&big_m, kappa);
+
+        // Candidate 2: (m(κ), κ).  The paper computes m(κ) only when
+        // M(κ) ∩ κ ⊄ ε; evaluating it unconditionally costs one cheap closure
+        // per node, never misses the better-balanced candidate of the two, and
+        // provides the Lemma 1 criterion in all cases.
+        let m_kappa = m_operator(self.machine, kappa);
+        let m_ok = self.try_candidate(&m_kappa, kappa);
+        // Lemma 1: if m(κ) ∩ κ ⊄ ε then the same holds for every successor,
+        // so the subtree is discarded.
+        let prune_subtree = self.config.lemma1_pruning && !m_ok;
+
+        if prune_subtree {
+            self.stats.subtrees_pruned += 1;
+            return;
+        }
+        if self.lower_bound_hit && self.config.stop_at_lower_bound {
+            return;
+        }
+
+        for k in next_index..self.basis.len() {
+            if self.out_of_budget() {
+                return;
+            }
+            let child = kappa
+                .join(&self.basis[k])
+                .expect("basis partitions share the machine's ground set");
+            if &child == kappa {
+                // The basis element is already contained in κ; the child node
+                // is identical and exploring it would only duplicate work.
+                continue;
+            }
+            self.visit(&child, k + 1);
+        }
+    }
+
+    /// Evaluates the candidate pair `(pi, kappa)`; records it as a solution if
+    /// it is a symmetric partition pair with `π ∩ κ ⊆ ε`.  Returns whether the
+    /// intersection condition held (used for the Lemma 1 test when
+    /// `pi = m(κ)`).
+    fn try_candidate(&mut self, pi: &Partition, kappa: &Partition) -> bool {
+        let meets_eps = pi
+            .intersection_within(kappa, &self.eps)
+            .expect("partitions share the machine's ground set");
+        if !meets_eps {
+            return false;
+        }
+        if !is_symmetric_pair(self.machine, pi, kappa) {
+            // One direction holds by construction of M(κ)/m(κ); the pair is a
+            // solution only if the other direction holds as well.
+            return true;
+        }
+        self.stats.solutions_found += 1;
+        // The pair is symmetric, so either orientation yields a realization;
+        // pick the one with the better (more balanced) cost.
+        let forward = Cost::new(pi.num_blocks(), kappa.num_blocks());
+        let backward = Cost::new(kappa.num_blocks(), pi.num_blocks());
+        let (cost, first, second) = if forward <= backward {
+            (forward, pi, kappa)
+        } else {
+            (backward, kappa, pi)
+        };
+        if cost < self.best.cost {
+            self.best = OstrSolution {
+                pi: first.clone(),
+                tau: second.clone(),
+                cost,
+            };
+            let n = self.machine.num_states();
+            if first.num_blocks() * second.num_blocks() == n
+                && cost.register_bits() == stc_fsm::ceil_log2(n)
+            {
+                self.lower_bound_hit = true;
+            }
+        }
+        true
+    }
+
+    fn out_of_budget(&mut self) -> bool {
+        if self.stats.nodes_investigated >= self.config.max_nodes {
+            self.stats.budget_exhausted = true;
+            return true;
+        }
+        if let Some(deadline) = self.deadline {
+            // Only check the clock every few hundred nodes to keep the hot
+            // path cheap.
+            if self.stats.nodes_investigated % 256 == 0 && Instant::now() >= deadline {
+                self.stats.budget_exhausted = true;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Convenience function: solve OSTR with the default configuration.
+#[must_use]
+pub fn solve(machine: &Mealy) -> OstrOutcome {
+    OstrSolver::with_defaults().solve(machine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stc_fsm::benchmarks;
+    use stc_fsm::paper_example;
+
+    #[test]
+    fn paper_example_finds_the_2x2_solution() {
+        let outcome = solve(&paper_example());
+        assert_eq!(outcome.best.cost, Cost::new(2, 2));
+        assert!(!outcome.best.is_trivial());
+        assert!(!outcome.stats.budget_exhausted);
+        let r = outcome.best.realize(&paper_example());
+        assert_eq!(r.verify(&paper_example()), None);
+    }
+
+    #[test]
+    fn shiftreg_reaches_the_lower_bound() {
+        let m = benchmarks::by_name("shiftreg").unwrap().machine;
+        let outcome = solve(&m);
+        // Paper Table 1: |S1| = 4, |S2| = 2 (3 flip-flops); orientation of the
+        // two registers is symmetric, so accept either.
+        assert_eq!(outcome.pipeline_flipflops(), 3);
+        assert_eq!(
+            outcome.best.cost.s1() * outcome.best.cost.s2(),
+            m.num_states()
+        );
+        let r = outcome.best.realize(&m);
+        assert_eq!(r.verify(&m), None);
+    }
+
+    #[test]
+    fn tav_reaches_the_lower_bound() {
+        let m = benchmarks::by_name("tav").unwrap().machine;
+        let outcome = solve(&m);
+        assert_eq!(outcome.best.cost, Cost::new(2, 2));
+        assert_eq!(outcome.pipeline_flipflops(), 2);
+    }
+
+    #[test]
+    fn solutions_are_never_worse_than_trivial() {
+        for b in benchmarks::suite() {
+            if b.machine.num_states() > 12 {
+                continue; // keep the unit test fast; large machines run in benches
+            }
+            let outcome = OstrSolver::new(SolverConfig {
+                max_nodes: 200_000,
+                time_limit: Some(Duration::from_secs(5)),
+                ..SolverConfig::default()
+            })
+            .solve(&b.machine);
+            assert!(
+                outcome.best.cost <= Cost::trivial(b.machine.num_states()),
+                "{}",
+                b.name()
+            );
+            let r = outcome.best.realize(&b.machine);
+            assert_eq!(r.verify(&b.machine), None, "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn pruning_does_not_change_the_result_on_small_machines() {
+        for name in ["dk15", "mc", "tav"] {
+            let m = benchmarks::by_name(name).unwrap().machine;
+            let pruned = OstrSolver::new(SolverConfig::default()).solve(&m);
+            let unpruned = OstrSolver::new(SolverConfig {
+                lemma1_pruning: false,
+                max_nodes: 5_000_000,
+                time_limit: Some(Duration::from_secs(20)),
+                ..SolverConfig::default()
+            })
+            .solve(&m);
+            assert_eq!(pruned.best.cost, unpruned.best.cost, "{name}");
+            assert!(
+                pruned.stats.nodes_investigated <= unpruned.stats.nodes_investigated,
+                "{name}: pruning must not increase the node count"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let m = benchmarks::by_name("shiftreg").unwrap().machine;
+        let outcome = OstrSolver::new(SolverConfig {
+            max_nodes: 3,
+            ..SolverConfig::default()
+        })
+        .solve(&m);
+        assert!(outcome.stats.budget_exhausted);
+        // Even with an exhausted budget the trivial solution is available.
+        assert!(outcome.best.cost <= Cost::trivial(m.num_states()));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let outcome = solve(&paper_example());
+        assert!(outcome.stats.basis_size > 0);
+        assert!(outcome.stats.nodes_investigated > 0);
+        assert!(outcome.stats.solutions_found > 0);
+        assert_eq!(
+            outcome.stats.log2_tree_size(),
+            outcome.stats.basis_size as u32
+        );
+    }
+}

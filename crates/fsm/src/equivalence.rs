@@ -1,0 +1,228 @@
+//! State equivalence and machine minimisation.
+//!
+//! The state-equivalence partition `ε` plays a central role in the paper: a
+//! symmetric partition pair `(π, τ)` yields a self-testable realization only
+//! if `π ∩ τ ⊆ ε` (Theorem 1), so the OSTR solver needs `ε` for every
+//! candidate check.
+
+use crate::machine::Mealy;
+use stc_partition::Partition;
+
+/// Computes the state-equivalence partition `ε` of a fully specified Mealy
+/// machine: two states are equivalent iff they produce identical output
+/// sequences for every input word.
+///
+/// Uses the classical iterative partition refinement (Moore's algorithm
+/// adapted to Mealy machines): start by grouping states with identical output
+/// rows, then repeatedly split blocks whose members disagree on the block of
+/// some successor, until a fixpoint is reached.
+///
+/// # Example
+///
+/// ```
+/// use stc_fsm::{Mealy, state_equivalence};
+///
+/// // Two copies of the same 1-state behaviour are equivalent.
+/// let mut b = Mealy::builder("twin", 2, 1, 1);
+/// b.transition(0, 0, 1, 0)?;
+/// b.transition(1, 0, 0, 0)?;
+/// let m = b.build()?;
+/// assert!(state_equivalence(&m).is_universal());
+/// # Ok::<(), stc_fsm::FsmError>(())
+/// ```
+#[must_use]
+pub fn state_equivalence(machine: &Mealy) -> Partition {
+    let n = machine.num_states();
+    let k = machine.num_inputs();
+    // Initial labels: identical output rows.
+    let mut labels: Vec<usize> = {
+        let mut seen = std::collections::HashMap::new();
+        (0..n)
+            .map(|s| {
+                let row: Vec<usize> = (0..k).map(|i| machine.output(s, i)).collect();
+                let next = seen.len();
+                *seen.entry(row).or_insert(next)
+            })
+            .collect()
+    };
+    loop {
+        let mut seen = std::collections::HashMap::new();
+        let new_labels: Vec<usize> = (0..n)
+            .map(|s| {
+                let signature: (usize, Vec<usize>) = (
+                    labels[s],
+                    (0..k).map(|i| labels[machine.next_state(s, i)]).collect(),
+                );
+                let next = seen.len();
+                *seen.entry(signature).or_insert(next)
+            })
+            .collect();
+        if new_labels == labels {
+            return Partition::from_labels(&labels);
+        }
+        labels = new_labels;
+    }
+}
+
+/// Returns `true` if states `a` and `b` of `machine` are equivalent.
+#[must_use]
+pub fn states_equivalent(machine: &Mealy, a: usize, b: usize) -> bool {
+    state_equivalence(machine).same_block(a, b)
+}
+
+/// Builds the reduced (minimal) machine: the quotient of `machine` by its
+/// state-equivalence partition `ε`.
+///
+/// The reset state is mapped to its block's representative.  State names of
+/// the quotient are the names of the block representatives.
+#[must_use]
+pub fn minimize(machine: &Mealy) -> Mealy {
+    let eps = state_equivalence(machine);
+    quotient(machine, &eps)
+}
+
+/// Builds the quotient machine `M/π` of `machine` by a partition `π` that is
+/// *output-consistent and closed under δ* (for example `ε` or any
+/// sub-partition of it).  States of the quotient are the blocks of `π`.
+///
+/// # Panics
+///
+/// Panics if `π` does not have the machine's state count as its ground set,
+/// or if `π` is not a congruence (members of a block disagree on the block of
+/// a successor or on an output), which would make the quotient ill-defined.
+#[must_use]
+pub fn quotient(machine: &Mealy, pi: &Partition) -> Mealy {
+    assert_eq!(
+        pi.ground_set_size(),
+        machine.num_states(),
+        "partition must cover the machine's states"
+    );
+    let k = machine.num_inputs();
+    let num_blocks = pi.num_blocks();
+    let mut builder = Mealy::builder(
+        format!("{}_min", machine.name()),
+        num_blocks,
+        k,
+        machine.num_outputs(),
+    );
+    builder
+        .state_names((0..num_blocks).map(|b| machine.state_name(pi.block(b)[0]).to_string()))
+        .expect("representative names are distinct");
+    builder
+        .input_names((0..k).map(|i| machine.input_name(i).to_string()))
+        .expect("input names copied");
+    builder
+        .output_names((0..machine.num_outputs()).map(|o| machine.output_name(o).to_string()))
+        .expect("output names copied");
+    for b in 0..num_blocks {
+        let members = pi.block(b);
+        let rep = members[0];
+        for i in 0..k {
+            let target = pi.block_of(machine.next_state(rep, i));
+            let out = machine.output(rep, i);
+            for &s in members {
+                assert_eq!(
+                    pi.block_of(machine.next_state(s, i)),
+                    target,
+                    "partition is not closed under the transition function"
+                );
+                assert_eq!(
+                    machine.output(s, i),
+                    out,
+                    "partition is not output-consistent"
+                );
+            }
+            builder
+                .transition(b, i, target, out)
+                .expect("quotient transition is in range");
+        }
+    }
+    builder
+        .reset_state(pi.block_of(machine.reset_state()))
+        .expect("block index is in range");
+    builder.build().expect("quotient is fully specified")
+}
+
+/// Returns `true` if the machine is reduced, i.e. no two distinct states are
+/// equivalent.
+#[must_use]
+pub fn is_reduced(machine: &Mealy) -> bool {
+    state_equivalence(machine).is_identity()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::paper_example;
+
+    /// A 4-state machine where states 2 and 3 are equivalent.
+    fn redundant_machine() -> Mealy {
+        let mut b = Mealy::builder("red", 4, 2, 2);
+        // States 2 and 3 behave identically (same outputs, successors in the
+        // same blocks); state 0 and 1 are distinguishable.
+        let rows = [
+            // (next on 0, out on 0, next on 1, out on 1)
+            (1, 0, 2, 1),
+            (0, 1, 3, 0),
+            (2, 0, 0, 0),
+            (3, 0, 0, 0),
+        ];
+        for (s, &(n0, o0, n1, o1)) in rows.iter().enumerate() {
+            b.transition(s, 0, n0, o0).unwrap();
+            b.transition(s, 1, n1, o1).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn paper_example_is_reduced() {
+        let eps = state_equivalence(&paper_example());
+        assert!(eps.is_identity());
+        assert!(is_reduced(&paper_example()));
+    }
+
+    #[test]
+    fn equivalent_states_are_merged() {
+        let m = redundant_machine();
+        let eps = state_equivalence(&m);
+        assert_eq!(eps.num_blocks(), 3);
+        assert!(eps.same_block(2, 3));
+        assert!(states_equivalent(&m, 2, 3));
+        assert!(!states_equivalent(&m, 0, 1));
+    }
+
+    #[test]
+    fn minimize_preserves_behaviour() {
+        let m = redundant_machine();
+        let min = minimize(&m);
+        assert_eq!(min.num_states(), 3);
+        assert!(is_reduced(&min));
+        // Behaviour check on all words of length 6 (2^6 = 64 words).
+        for w in 0..(1u32 << 6) {
+            let word: Vec<usize> = (0..6).map(|b| ((w >> b) & 1) as usize).collect();
+            let (out_a, _) = m.run_from_reset(&word);
+            let (out_b, _) = min.run_from_reset(&word);
+            assert_eq!(out_a, out_b, "word {word:?}");
+        }
+    }
+
+    #[test]
+    fn all_states_equivalent_collapses_to_one() {
+        let mut b = Mealy::builder("uniform", 3, 1, 1);
+        for s in 0..3 {
+            b.transition(s, 0, (s + 1) % 3, 0).unwrap();
+        }
+        let m = b.build().unwrap();
+        assert!(state_equivalence(&m).is_universal());
+        assert_eq!(minimize(&m).num_states(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not closed")]
+    fn quotient_rejects_non_congruence() {
+        let m = paper_example();
+        // {0,1} vs {2,3} is NOT closed under δ for the paper example outputs.
+        let bad = Partition::from_blocks(4, &[vec![0, 1], vec![2, 3]]).unwrap();
+        let _ = quotient(&m, &bad);
+    }
+}

@@ -1,0 +1,86 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for FSM construction, analysis and KISS2 parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FsmError {
+    /// A machine must have at least one state, one input and one output symbol.
+    EmptyMachine {
+        /// Which component was empty ("states", "inputs" or "outputs").
+        what: &'static str,
+    },
+    /// A transition referenced a state, input or output index out of range.
+    IndexOutOfRange {
+        /// Which component was out of range.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The number of valid indices.
+        bound: usize,
+    },
+    /// The transition table is incomplete: some (state, input) pair has no
+    /// successor.  The paper requires fully specified machines.
+    Incomplete {
+        /// State index missing a transition.
+        state: usize,
+        /// Input index missing a transition.
+        input: usize,
+    },
+    /// A (state, input) pair was specified twice with conflicting targets.
+    ConflictingTransition {
+        /// State index of the conflict.
+        state: usize,
+        /// Input index of the conflict.
+        input: usize,
+    },
+    /// A name (state, input or output) was used twice.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A symbolic name was referenced but never defined.
+    UnknownName {
+        /// The unknown name.
+        name: String,
+    },
+    /// A KISS2 file could not be parsed.
+    Kiss2 {
+        /// 1-based line number of the offending line (0 if not line-specific).
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for FsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsmError::EmptyMachine { what } => {
+                write!(f, "machine has no {what}")
+            }
+            FsmError::IndexOutOfRange { what, index, bound } => {
+                write!(f, "{what} index {index} is out of range (bound {bound})")
+            }
+            FsmError::Incomplete { state, input } => write!(
+                f,
+                "machine is not fully specified: no transition for state {state} on input {input}"
+            ),
+            FsmError::ConflictingTransition { state, input } => write!(
+                f,
+                "conflicting transitions for state {state} on input {input}"
+            ),
+            FsmError::DuplicateName { name } => write!(f, "duplicate name `{name}`"),
+            FsmError::UnknownName { name } => write!(f, "unknown name `{name}`"),
+            FsmError::Kiss2 { line, message } => {
+                if *line == 0 {
+                    write!(f, "KISS2 parse error: {message}")
+                } else {
+                    write!(f, "KISS2 parse error at line {line}: {message}")
+                }
+            }
+        }
+    }
+}
+
+impl Error for FsmError {}

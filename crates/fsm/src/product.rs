@@ -1,0 +1,312 @@
+//! Composition of factor machines into pipeline-structured product machines.
+//!
+//! A machine *supports a self-testable structure* (Definition 2 of the paper)
+//! when its state set is a product `S1 × S2` and the next-state function has
+//! the crossed form `δ((s1, s2), i) = (δ2(s2, i), δ1(s1, i))`.  This module
+//! builds such machines from explicit factor tables — the inverse direction
+//! of the OSTR synthesis — which is useful for constructing benchmark
+//! machines with a *known* optimal decomposition and for property tests
+//! (decompose ∘ compose = identity up to realization).
+
+use crate::error::FsmError;
+use crate::machine::Mealy;
+
+/// Explicit factor tables of a pipeline-structured machine.
+///
+/// * `delta1[s1][i]` is `δ1(s1, i) ∈ S2` — computed by block `C1` and stored
+///   in register `R2`.
+/// * `delta2[s2][i]` is `δ2(s2, i) ∈ S1` — computed by block `C2` and stored
+///   in register `R1`.
+/// * `lambda[s1][s2][i]` is the output `λ((s1, s2), i)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineFactors {
+    /// Name of the composed machine.
+    pub name: String,
+    /// `δ1 : S1 × I → S2`.
+    pub delta1: Vec<Vec<usize>>,
+    /// `δ2 : S2 × I → S1`.
+    pub delta2: Vec<Vec<usize>>,
+    /// `λ : S1 × S2 × I → O`.
+    pub lambda: Vec<Vec<Vec<usize>>>,
+    /// Number of output symbols.
+    pub num_outputs: usize,
+}
+
+impl PipelineFactors {
+    /// Number of states of the first factor `|S1|`.
+    #[must_use]
+    pub fn s1_len(&self) -> usize {
+        self.delta1.len()
+    }
+
+    /// Number of states of the second factor `|S2|`.
+    #[must_use]
+    pub fn s2_len(&self) -> usize {
+        self.delta2.len()
+    }
+
+    /// Number of input symbols.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.delta1.first().map_or(0, Vec::len)
+    }
+
+    /// Composes the factors into the full product machine over `S1 × S2`.
+    ///
+    /// The state `(s1, s2)` is given index `s1 * |S2| + s2`; state names are
+    /// `"s1.s2"`.  The resulting machine supports a self-testable structure by
+    /// construction and the projections onto the two coordinates form a
+    /// symmetric partition pair with identity intersection.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tables are ragged, reference out-of-range
+    /// factor states or outputs, or if any factor is empty.
+    pub fn compose(&self) -> Result<Mealy, FsmError> {
+        let n1 = self.s1_len();
+        let n2 = self.s2_len();
+        let k = self.num_inputs();
+        if n1 == 0 || n2 == 0 {
+            return Err(FsmError::EmptyMachine { what: "states" });
+        }
+        if k == 0 {
+            return Err(FsmError::EmptyMachine { what: "inputs" });
+        }
+        if self.num_outputs == 0 {
+            return Err(FsmError::EmptyMachine { what: "outputs" });
+        }
+        let check_table = |table: &Vec<Vec<usize>>, bound: usize| -> Result<(), FsmError> {
+            for row in table {
+                if row.len() != k {
+                    return Err(FsmError::IndexOutOfRange {
+                        what: "input",
+                        index: row.len(),
+                        bound: k,
+                    });
+                }
+                for &v in row {
+                    if v >= bound {
+                        return Err(FsmError::IndexOutOfRange {
+                            what: "state",
+                            index: v,
+                            bound,
+                        });
+                    }
+                }
+            }
+            Ok(())
+        };
+        check_table(&self.delta1, n2)?;
+        check_table(&self.delta2, n1)?;
+        if self.lambda.len() != n1 {
+            return Err(FsmError::IndexOutOfRange {
+                what: "state",
+                index: self.lambda.len(),
+                bound: n1,
+            });
+        }
+
+        let mut builder = Mealy::builder(self.name.clone(), n1 * n2, k, self.num_outputs);
+        builder
+            .state_names((0..n1 * n2).map(|idx| format!("{}.{}", idx / n2, idx % n2)))
+            .expect("generated names are distinct");
+        for s1 in 0..n1 {
+            if self.lambda[s1].len() != n2 {
+                return Err(FsmError::IndexOutOfRange {
+                    what: "state",
+                    index: self.lambda[s1].len(),
+                    bound: n2,
+                });
+            }
+            for s2 in 0..n2 {
+                if self.lambda[s1][s2].len() != k {
+                    return Err(FsmError::IndexOutOfRange {
+                        what: "input",
+                        index: self.lambda[s1][s2].len(),
+                        bound: k,
+                    });
+                }
+                for i in 0..k {
+                    let out = self.lambda[s1][s2][i];
+                    if out >= self.num_outputs {
+                        return Err(FsmError::IndexOutOfRange {
+                            what: "output",
+                            index: out,
+                            bound: self.num_outputs,
+                        });
+                    }
+                    // δ((s1, s2), i) = (δ2(s2, i), δ1(s1, i)).
+                    let next1 = self.delta2[s2][i];
+                    let next2 = self.delta1[s1][i];
+                    builder.transition(s1 * n2 + s2, i, next1 * n2 + next2, out)?;
+                }
+            }
+        }
+        builder.build()
+    }
+}
+
+/// Convenience: composes two *independent* machines running in lock-step into
+/// a crossed pipeline machine whose output is the pair of factor outputs.
+///
+/// Given `a` and `b` with the same input alphabet, the result has state set
+/// `S_a × S_b`, crossed next-state function
+/// `δ((sa, sb), i) = (δ_b'(sb, i), δ_a'(sa, i))` where `δ_a'`/`δ_b'` are the
+/// factor next-state functions reinterpreted as maps into the *other* factor
+/// (requires `|S_a| == |S_b|`), and output `λ_a(sa, i) * |O_b| + λ_b(sb, i)`.
+///
+/// This is mainly a test helper; [`PipelineFactors::compose`] is the general
+/// construction.
+///
+/// # Errors
+///
+/// Returns an error if the machines have different input alphabets or state
+/// counts.
+pub fn crossed_product(a: &Mealy, b: &Mealy) -> Result<Mealy, FsmError> {
+    if a.num_inputs() != b.num_inputs() {
+        return Err(FsmError::IndexOutOfRange {
+            what: "input",
+            index: b.num_inputs(),
+            bound: a.num_inputs(),
+        });
+    }
+    if a.num_states() != b.num_states() {
+        return Err(FsmError::IndexOutOfRange {
+            what: "state",
+            index: b.num_states(),
+            bound: a.num_states(),
+        });
+    }
+    let k = a.num_inputs();
+    let factors = PipelineFactors {
+        name: format!("{}x{}", a.name(), b.name()),
+        delta1: (0..a.num_states())
+            .map(|s| (0..k).map(|i| a.next_state(s, i)).collect())
+            .collect(),
+        delta2: (0..b.num_states())
+            .map(|s| (0..k).map(|i| b.next_state(s, i)).collect())
+            .collect(),
+        lambda: (0..a.num_states())
+            .map(|sa| {
+                (0..b.num_states())
+                    .map(|sb| {
+                        (0..k)
+                            .map(|i| a.output(sa, i) * b.num_outputs() + b.output(sb, i))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect(),
+        num_outputs: a.num_outputs() * b.num_outputs(),
+    };
+    factors.compose()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stc_partition::{is_symmetric_pair, Partition};
+
+    fn small_factors() -> PipelineFactors {
+        // |S1| = 2, |S2| = 3, 2 inputs, 2 outputs.
+        PipelineFactors {
+            name: "pf".into(),
+            delta1: vec![vec![0, 2], vec![1, 0]],
+            delta2: vec![vec![1, 0], vec![0, 1], vec![1, 1]],
+            lambda: vec![
+                vec![vec![0, 1], vec![1, 0], vec![0, 0]],
+                vec![vec![1, 1], vec![0, 1], vec![1, 0]],
+            ],
+            num_outputs: 2,
+        }
+    }
+
+    #[test]
+    fn compose_builds_the_crossed_structure() {
+        let f = small_factors();
+        let m = f.compose().unwrap();
+        assert_eq!(m.num_states(), 6);
+        // δ((s1,s2), i) = (δ2(s2,i), δ1(s1,i)).
+        for s1 in 0..2 {
+            for s2 in 0..3 {
+                for i in 0..2 {
+                    let next = m.next_state(s1 * 3 + s2, i);
+                    assert_eq!(next / 3, f.delta2[s2][i]);
+                    assert_eq!(next % 3, f.delta1[s1][i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn projections_form_a_symmetric_pair() {
+        let f = small_factors();
+        let m = f.compose().unwrap();
+        // π groups states by s1 (rows), τ groups by s2 (columns).
+        let pi = Partition::from_labels(&(0..6).map(|idx| idx / 3).collect::<Vec<_>>());
+        let tau = Partition::from_labels(&(0..6).map(|idx| idx % 3).collect::<Vec<_>>());
+        assert!(is_symmetric_pair(&m, &pi, &tau));
+        assert!(pi.meet(&tau).unwrap().is_identity());
+    }
+
+    #[test]
+    fn compose_validates_tables() {
+        let mut f = small_factors();
+        f.delta1[0][0] = 7; // out of range for S2
+        assert!(f.compose().is_err());
+
+        let mut f = small_factors();
+        f.lambda[0][0][0] = 9; // output out of range
+        assert!(f.compose().is_err());
+
+        let mut f = small_factors();
+        f.delta2.pop();
+        // lambda still expects 3 columns → ragged, and delta1 entries may point
+        // beyond the shrunk S2; either way composition must fail.
+        assert!(f.compose().is_err());
+
+        let f = PipelineFactors {
+            name: "empty".into(),
+            delta1: vec![],
+            delta2: vec![],
+            lambda: vec![],
+            num_outputs: 1,
+        };
+        assert!(f.compose().is_err());
+    }
+
+    #[test]
+    fn crossed_product_of_two_toggles() {
+        let mut b = Mealy::builder("t", 2, 2, 2);
+        b.transition(0, 0, 0, 0).unwrap();
+        b.transition(0, 1, 1, 0).unwrap();
+        b.transition(1, 0, 1, 1).unwrap();
+        b.transition(1, 1, 0, 1).unwrap();
+        let t = b.build().unwrap();
+        let m = crossed_product(&t, &t).unwrap();
+        assert_eq!(m.num_states(), 4);
+        assert_eq!(m.num_outputs(), 4);
+        let pi = Partition::from_labels(&[0, 0, 1, 1]);
+        let tau = Partition::from_labels(&[0, 1, 0, 1]);
+        assert!(is_symmetric_pair(&m, &pi, &tau));
+    }
+
+    #[test]
+    fn crossed_product_requires_matching_alphabets() {
+        let mut b = Mealy::builder("a", 2, 2, 1);
+        for s in 0..2 {
+            for i in 0..2 {
+                b.transition(s, i, s, 0).unwrap();
+            }
+        }
+        let a = b.build().unwrap();
+        let mut b2 = Mealy::builder("b", 2, 3, 1);
+        for s in 0..2 {
+            for i in 0..3 {
+                b2.transition(s, i, s, 0).unwrap();
+            }
+        }
+        let bb = b2.build().unwrap();
+        assert!(crossed_product(&a, &bb).is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests spanning the FSM substrate.
+
+use crate::equivalence::{minimize, state_equivalence};
+use crate::kiss2;
+use crate::machine::Mealy;
+use crate::product::PipelineFactors;
+use crate::random::random_machine;
+use proptest::prelude::*;
+use stc_partition::{is_symmetric_pair, Partition};
+
+fn arb_machine() -> impl Strategy<Value = Mealy> {
+    (2usize..9, 1usize..4, 1usize..4, any::<u64>())
+        .prop_map(|(s, i, o, seed)| random_machine("prop", s, i, o, seed))
+}
+
+/// Machines whose input alphabet is a power of two (at least 2), as required
+/// for a lossless KISS2 round-trip (KISS2 encodes inputs as bit vectors).
+fn arb_kiss_machine() -> impl Strategy<Value = Mealy> {
+    (2usize..9, 1u32..4, 1usize..4, any::<u64>())
+        .prop_map(|(s, ibits, o, seed)| random_machine("prop", s, 1 << ibits, o, seed))
+}
+
+fn arb_factors() -> impl Strategy<Value = PipelineFactors> {
+    (2usize..4, 2usize..4, 1usize..3, 1usize..3, any::<u64>()).prop_map(
+        |(n1, n2, k, o, seed)| {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            PipelineFactors {
+                name: "prop_factors".into(),
+                delta1: (0..n1).map(|_| (0..k).map(|_| rng.gen_range(0..n2)).collect()).collect(),
+                delta2: (0..n2).map(|_| (0..k).map(|_| rng.gen_range(0..n1)).collect()).collect(),
+                lambda: (0..n1)
+                    .map(|_| {
+                        (0..n2)
+                            .map(|_| (0..k).map(|_| rng.gen_range(0..o)).collect())
+                            .collect()
+                    })
+                    .collect(),
+                num_outputs: o,
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kiss2_roundtrip_preserves_behaviour(machine in arb_kiss_machine(), word in proptest::collection::vec(0usize..8, 0..20)) {
+        let text = kiss2::write(&machine);
+        let parsed = kiss2::parse(&text, machine.name()).unwrap();
+        prop_assert_eq!(machine.num_states(), parsed.num_states());
+        prop_assert_eq!(machine.num_inputs(), parsed.num_inputs());
+        // The parser may number states differently (it interns them in order
+        // of appearance), so compare the transition structure through the
+        // state names.  Output symbols correspond via their binary encodings:
+        // the writer emits output index `o` as a binary vector, and the
+        // parser interns one symbol per distinct vector.
+        let map: Vec<usize> = (0..machine.num_states())
+            .map(|s| parsed.state_index(machine.state_name(s)).unwrap())
+            .collect();
+        for s in 0..machine.num_states() {
+            for i in 0..machine.num_inputs() {
+                prop_assert_eq!(map[machine.next_state(s, i)], parsed.next_state(map[s], i));
+            }
+        }
+        let word: Vec<usize> = word.into_iter().map(|i| i % machine.num_inputs()).collect();
+        let (out_a, _) = machine.run_from_reset(&word);
+        let (out_b, _) = parsed.run_from_reset(&word);
+        let width = parsed.output_name(0).len();
+        for (a, b) in out_a.iter().zip(out_b.iter()) {
+            let encoded_a: String = (0..width)
+                .rev()
+                .map(|bit| if (a >> bit) & 1 == 1 { '1' } else { '0' })
+                .collect();
+            prop_assert_eq!(&encoded_a, parsed.output_name(*b));
+        }
+    }
+
+    #[test]
+    fn minimized_machine_is_behaviourally_equivalent(machine in arb_machine(), word in proptest::collection::vec(0usize..3, 0..24)) {
+        let word: Vec<usize> = word.into_iter().map(|i| i % machine.num_inputs()).collect();
+        let min = minimize(&machine);
+        prop_assert!(min.num_states() <= machine.num_states());
+        let (out_a, _) = machine.run_from_reset(&word);
+        let (out_b, _) = min.run_from_reset(&word);
+        prop_assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    fn minimized_machine_is_reduced(machine in arb_machine()) {
+        let min = minimize(&machine);
+        prop_assert!(state_equivalence(&min).is_identity());
+    }
+
+    #[test]
+    fn equivalence_is_a_congruence(machine in arb_machine()) {
+        let eps = state_equivalence(&machine);
+        // Equivalent states have equivalent successors and equal outputs.
+        for block in eps.blocks() {
+            let first = block[0];
+            for &s in &block[1..] {
+                for i in 0..machine.num_inputs() {
+                    prop_assert_eq!(machine.output(first, i), machine.output(s, i));
+                    prop_assert!(eps.same_block(machine.next_state(first, i), machine.next_state(s, i)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn composed_factors_always_support_a_self_testable_structure(factors in arb_factors()) {
+        let machine = factors.compose().unwrap();
+        let n2 = factors.s2_len();
+        let pi = Partition::from_labels(&(0..machine.num_states()).map(|s| s / n2).collect::<Vec<_>>());
+        let tau = Partition::from_labels(&(0..machine.num_states()).map(|s| s % n2).collect::<Vec<_>>());
+        prop_assert!(is_symmetric_pair(&machine, &pi, &tau));
+        prop_assert!(pi.meet(&tau).unwrap().is_identity());
+    }
+
+    #[test]
+    fn random_machines_are_fully_specified(machine in arb_machine()) {
+        // Every transition is defined and in range (would have panicked in
+        // the builder otherwise); spot-check by running a long word.
+        let word: Vec<usize> = (0..64).map(|x| x % machine.num_inputs()).collect();
+        let (outs, end) = machine.run_from_reset(&word);
+        prop_assert_eq!(outs.len(), 64);
+        prop_assert!(end < machine.num_states());
+    }
+}

@@ -1,0 +1,25 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for cube/cover parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LogicError {
+    /// A cube string contained a character other than `0`, `1` or `-`.
+    ParseCube {
+        /// The offending character.
+        character: char,
+    },
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::ParseCube { character } => {
+                write!(f, "invalid cube character `{character}`")
+            }
+        }
+    }
+}
+
+impl Error for LogicError {}

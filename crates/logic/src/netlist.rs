@@ -1,0 +1,344 @@
+//! Gate-level netlists: construction from covers, evaluation, and area/delay
+//! estimation.
+
+use crate::cover::Cover;
+use crate::cube::Literal;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node (gate) inside a [`Netlist`].
+pub type NodeId = usize;
+
+/// A combinational gate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Gate {
+    /// Primary input with the given index.
+    Input(usize),
+    /// Constant value.
+    Const(bool),
+    /// Inverter.
+    Not(NodeId),
+    /// AND of the listed nodes (empty = constant 1).
+    And(Vec<NodeId>),
+    /// OR of the listed nodes (empty = constant 0).
+    Or(Vec<NodeId>),
+}
+
+impl Gate {
+    /// The fan-in node ids of the gate.
+    #[must_use]
+    pub fn fanins(&self) -> Vec<NodeId> {
+        match self {
+            Gate::Input(_) | Gate::Const(_) => Vec::new(),
+            Gate::Not(a) => vec![*a],
+            Gate::And(xs) | Gate::Or(xs) => xs.clone(),
+        }
+    }
+}
+
+/// A combinational gate-level netlist in topological order.
+///
+/// Gates are stored so that every gate's fan-ins have smaller node ids, which
+/// makes single-pass evaluation possible.  The netlist also carries the list
+/// of primary-output nodes.
+///
+/// # Example
+///
+/// ```
+/// use stc_logic::{Cover, Cube, Netlist};
+///
+/// // f = a·b + !a·c  over inputs (a, b, c)
+/// let cover = Cover::from_cubes(3, vec![
+///     Cube::parse("11-")?,
+///     Cube::parse("0-1")?,
+/// ]);
+/// let netlist = Netlist::from_covers(3, &[cover]);
+/// assert_eq!(netlist.evaluate(&[true, true, false]), vec![true]);
+/// assert_eq!(netlist.evaluate(&[true, false, true]), vec![false]);
+/// assert!(netlist.depth() >= 2);
+/// # Ok::<(), stc_logic::LogicError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Netlist {
+    num_inputs: usize,
+    gates: Vec<Gate>,
+    outputs: Vec<NodeId>,
+}
+
+impl Netlist {
+    /// Builds an empty netlist with only the primary-input nodes.
+    #[must_use]
+    pub fn new(num_inputs: usize) -> Self {
+        Self {
+            num_inputs,
+            gates: (0..num_inputs).map(Gate::Input).collect(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Builds a two-level (AND-OR with shared input inverters) netlist that
+    /// implements one output per cover.  All covers must be defined over the
+    /// same `num_inputs` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cover's variable count differs from `num_inputs`.
+    #[must_use]
+    pub fn from_covers(num_inputs: usize, covers: &[Cover]) -> Self {
+        let mut netlist = Self::new(num_inputs);
+        // Shared inverters, allocated lazily.
+        let mut inverted: Vec<Option<NodeId>> = vec![None; num_inputs];
+        let mut outputs = Vec::with_capacity(covers.len());
+        for cover in covers {
+            assert_eq!(cover.num_vars(), num_inputs, "cover width mismatch");
+            let mut product_nodes = Vec::with_capacity(cover.len());
+            for cube in cover.cubes() {
+                let mut inputs_of_and = Vec::new();
+                for v in 0..num_inputs {
+                    match cube.literal(v) {
+                        Literal::DontCare => {}
+                        Literal::One => inputs_of_and.push(v),
+                        Literal::Zero => {
+                            let inv = *inverted[v].get_or_insert_with(|| {
+                                netlist.gates.push(Gate::Not(v));
+                                netlist.gates.len() - 1
+                            });
+                            inputs_of_and.push(inv);
+                        }
+                    }
+                }
+                let node = match inputs_of_and.len() {
+                    0 => netlist.push(Gate::Const(true)),
+                    1 => inputs_of_and[0],
+                    _ => netlist.push(Gate::And(inputs_of_and)),
+                };
+                product_nodes.push(node);
+            }
+            let out = match product_nodes.len() {
+                0 => netlist.push(Gate::Const(false)),
+                1 => product_nodes[0],
+                _ => netlist.push(Gate::Or(product_nodes)),
+            };
+            outputs.push(out);
+        }
+        netlist.outputs = outputs;
+        netlist
+    }
+
+    fn push(&mut self, gate: Gate) -> NodeId {
+        self.gates.push(gate);
+        self.gates.len() - 1
+    }
+
+    /// Number of primary inputs.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of primary outputs.
+    #[must_use]
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The primary-output node ids.
+    #[must_use]
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// All gates in topological order (including the input nodes).
+    #[must_use]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of logic gates (inverters, ANDs, ORs; excludes inputs and
+    /// constants), a first-order area measure.
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, Gate::Not(_) | Gate::And(_) | Gate::Or(_)))
+            .count()
+    }
+
+    /// Total number of gate-input connections (literals), the classical
+    /// technology-independent area proxy.
+    #[must_use]
+    pub fn literal_count(&self) -> usize {
+        self.gates.iter().map(|g| g.fanins().len()).sum()
+    }
+
+    /// Logic depth in gate levels (inverters count as a level), a first-order
+    /// delay measure.  Inputs have depth 0.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.gates.len()];
+        for (id, gate) in self.gates.iter().enumerate() {
+            let max_in = gate.fanins().iter().map(|&f| level[f]).max().unwrap_or(0);
+            level[id] = match gate {
+                Gate::Input(_) | Gate::Const(_) => 0,
+                _ => max_in + 1,
+            };
+        }
+        self.outputs.iter().map(|&o| level[o]).max().unwrap_or(0)
+    }
+
+    /// Evaluates the netlist on an input vector (fault-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary inputs.
+    #[must_use]
+    pub fn evaluate(&self, inputs: &[bool]) -> Vec<bool> {
+        self.evaluate_with_fault(inputs, None)
+    }
+
+    /// Evaluates the netlist with an optional stuck-at fault: node
+    /// `fault.0` is forced to the value `fault.1` regardless of its inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary inputs or
+    /// the fault node id is out of range.
+    #[must_use]
+    pub fn evaluate_with_fault(&self, inputs: &[bool], fault: Option<(NodeId, bool)>) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.num_inputs, "input width mismatch");
+        if let Some((node, _)) = fault {
+            assert!(node < self.gates.len(), "fault node out of range");
+        }
+        let mut values = vec![false; self.gates.len()];
+        for (id, gate) in self.gates.iter().enumerate() {
+            let v = match gate {
+                Gate::Input(i) => inputs[*i],
+                Gate::Const(c) => *c,
+                Gate::Not(a) => !values[*a],
+                Gate::And(xs) => xs.iter().all(|&x| values[x]),
+                Gate::Or(xs) => xs.iter().any(|&x| values[x]),
+            };
+            values[id] = match fault {
+                Some((node, stuck)) if node == id => stuck,
+                _ => v,
+            };
+        }
+        self.outputs.iter().map(|&o| values[o]).collect()
+    }
+
+    /// Node ids that are meaningful stuck-at fault sites: every gate and every
+    /// *connected* primary input.
+    ///
+    /// Constants are excluded (they are not circuit lines), and so are primary
+    /// inputs with no fanout that are not primary outputs either — an input
+    /// the block does not depend on is simply not routed to it in hardware,
+    /// so it contributes no fault sites.
+    #[must_use]
+    pub fn fault_sites(&self) -> Vec<NodeId> {
+        let mut referenced = vec![false; self.gates.len()];
+        for gate in &self.gates {
+            for f in gate.fanins() {
+                referenced[f] = true;
+            }
+        }
+        for &o in &self.outputs {
+            referenced[o] = true;
+        }
+        (0..self.gates.len())
+            .filter(|&id| match self.gates[id] {
+                Gate::Const(_) => false,
+                Gate::Input(_) => referenced[id],
+                _ => true,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::Cube;
+
+    fn xor_netlist() -> Netlist {
+        let cover = Cover::from_cubes(
+            2,
+            vec![Cube::parse("10").unwrap(), Cube::parse("01").unwrap()],
+        );
+        Netlist::from_covers(2, &[cover])
+    }
+
+    #[test]
+    fn evaluation_matches_the_cover() {
+        let n = xor_netlist();
+        assert_eq!(n.evaluate(&[false, false]), vec![false]);
+        assert_eq!(n.evaluate(&[true, false]), vec![true]);
+        assert_eq!(n.evaluate(&[false, true]), vec![true]);
+        assert_eq!(n.evaluate(&[true, true]), vec![false]);
+    }
+
+    #[test]
+    fn structure_counts() {
+        let n = xor_netlist();
+        // 2 inverters + 2 ANDs + 1 OR.
+        assert_eq!(n.gate_count(), 5);
+        assert_eq!(n.num_inputs(), 2);
+        assert_eq!(n.num_outputs(), 1);
+        assert_eq!(n.depth(), 3); // NOT → AND → OR
+        assert_eq!(n.literal_count(), 2 + 4 + 2);
+    }
+
+    #[test]
+    fn constant_and_single_literal_covers() {
+        let zero = Cover::new(2);
+        let one = Cover::from_cubes(2, vec![Cube::parse("--").unwrap()]);
+        let single = Cover::from_cubes(2, vec![Cube::parse("-1").unwrap()]);
+        let n = Netlist::from_covers(2, &[zero, one, single]);
+        assert_eq!(n.evaluate(&[false, false]), vec![false, true, false]);
+        assert_eq!(n.evaluate(&[false, true]), vec![false, true, true]);
+    }
+
+    #[test]
+    fn shared_inverters_are_reused() {
+        // Two outputs both needing !a must share one inverter.
+        let f = Cover::from_cubes(2, vec![Cube::parse("0-").unwrap()]);
+        let g = Cover::from_cubes(2, vec![Cube::parse("01").unwrap()]);
+        let n = Netlist::from_covers(2, &[f, g]);
+        let inverters = n
+            .gates()
+            .iter()
+            .filter(|gate| matches!(gate, Gate::Not(_)))
+            .count();
+        assert_eq!(inverters, 1);
+    }
+
+    #[test]
+    fn stuck_at_faults_change_outputs() {
+        let n = xor_netlist();
+        // Find the OR gate (the output node) and force it to 0.
+        let out = n.outputs()[0];
+        assert_eq!(
+            n.evaluate_with_fault(&[true, false], Some((out, false))),
+            vec![false]
+        );
+        // Forcing a primary input to 1: input node 0 stuck-at-1 makes (1,1).
+        assert_eq!(
+            n.evaluate_with_fault(&[false, true], Some((0, true))),
+            vec![false]
+        );
+    }
+
+    #[test]
+    fn fault_sites_exclude_constants() {
+        let one = Cover::from_cubes(1, vec![Cube::parse("-").unwrap()]);
+        let n = Netlist::from_covers(1, &[one]);
+        for site in n.fault_sites() {
+            assert!(!matches!(n.gates()[site], Gate::Const(_)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn wrong_input_width_panics() {
+        let n = xor_netlist();
+        let _ = n.evaluate(&[true]);
+    }
+}

@@ -1,0 +1,155 @@
+//! A small union–find (disjoint-set union) structure used to build partitions
+//! from generating pairs and to compute joins / transitive closures.
+
+/// Disjoint-set union (union–find) over the ground set `0..n` with path
+/// compression and union by rank.
+///
+/// # Example
+///
+/// ```
+/// use stc_partition::DisjointSets;
+///
+/// let mut dsu = DisjointSets::new(5);
+/// dsu.union(0, 2);
+/// dsu.union(2, 4);
+/// assert!(dsu.same_set(0, 4));
+/// assert!(!dsu.same_set(0, 1));
+/// assert_eq!(dsu.num_sets(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DisjointSets {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    num_sets: usize,
+}
+
+impl DisjointSets {
+    /// Creates `n` singleton sets `{0}, {1}, …, {n-1}`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            num_sets: n,
+        }
+    }
+
+    /// Number of elements in the ground set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the ground set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently represented.
+    #[must_use]
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Finds the canonical representative of the set containing `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is outside the ground set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`. Returns `true` if they were
+    /// previously distinct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is outside the ground set.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.num_sets -= 1;
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if `a` and `b` belong to the same set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is outside the ground set.
+    pub fn same_set(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Returns, for every element, the canonical representative of its set.
+    pub fn labels(&mut self) -> Vec<usize> {
+        (0..self.len()).map(|x| self.find(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut dsu = DisjointSets::new(4);
+        assert_eq!(dsu.num_sets(), 4);
+        for i in 0..4 {
+            assert_eq!(dsu.find(i), i);
+        }
+    }
+
+    #[test]
+    fn union_reduces_set_count() {
+        let mut dsu = DisjointSets::new(6);
+        assert!(dsu.union(0, 1));
+        assert!(dsu.union(1, 2));
+        assert!(!dsu.union(0, 2), "already merged");
+        assert_eq!(dsu.num_sets(), 4);
+        assert!(dsu.same_set(0, 2));
+        assert!(!dsu.same_set(0, 3));
+    }
+
+    #[test]
+    fn labels_are_consistent() {
+        let mut dsu = DisjointSets::new(5);
+        dsu.union(3, 4);
+        dsu.union(0, 4);
+        let labels = dsu.labels();
+        assert_eq!(labels[0], labels[3]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[1]);
+        assert_ne!(labels[1], labels[2]);
+    }
+
+    #[test]
+    fn empty_ground_set() {
+        let dsu = DisjointSets::new(0);
+        assert!(dsu.is_empty());
+        assert_eq!(dsu.num_sets(), 0);
+    }
+}

@@ -1,0 +1,55 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for partition construction and combination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PartitionError {
+    /// An element index was outside the ground set `0..n`.
+    ElementOutOfRange {
+        /// The offending element.
+        element: usize,
+        /// The size of the ground set.
+        ground_set: usize,
+    },
+    /// An element appeared in more than one block of an explicit block list.
+    DuplicateElement {
+        /// The offending element.
+        element: usize,
+    },
+    /// An element of the ground set was missing from every block.
+    MissingElement {
+        /// The missing element.
+        element: usize,
+    },
+    /// Two partitions over differently sized ground sets were combined.
+    SizeMismatch {
+        /// Ground-set size of the left operand.
+        left: usize,
+        /// Ground-set size of the right operand.
+        right: usize,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::ElementOutOfRange { element, ground_set } => write!(
+                f,
+                "element {element} is outside the ground set 0..{ground_set}"
+            ),
+            PartitionError::DuplicateElement { element } => {
+                write!(f, "element {element} appears in more than one block")
+            }
+            PartitionError::MissingElement { element } => {
+                write!(f, "element {element} is not covered by any block")
+            }
+            PartitionError::SizeMismatch { left, right } => write!(
+                f,
+                "partitions over different ground sets cannot be combined ({left} vs {right})"
+            ),
+        }
+    }
+}
+
+impl Error for PartitionError {}

@@ -1,0 +1,284 @@
+//! Partition pairs and the `m(·)` / `M(·)` operators of algebraic structure
+//! theory, defined relative to a state-transition function.
+
+use crate::dsu::DisjointSets;
+use crate::partition::Partition;
+
+/// A state-transition function `δ : S × I → S` over the states `0..num_states`
+/// and inputs `0..num_inputs`.
+///
+/// This is the minimal interface the partition-pair operators need; the Mealy
+/// machine type of `stc-fsm` implements it.  Output functions are irrelevant
+/// for partition pairs and are therefore not part of this trait.
+pub trait Transitions {
+    /// Number of states `|S|`.
+    fn num_states(&self) -> usize;
+    /// Number of input symbols `|I|`.
+    fn num_inputs(&self) -> usize;
+    /// The next state `δ(s, i)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `s` or `i` is out of range.
+    fn next_state(&self, state: usize, input: usize) -> usize;
+}
+
+impl<T: Transitions + ?Sized> Transitions for &T {
+    fn num_states(&self) -> usize {
+        (**self).num_states()
+    }
+    fn num_inputs(&self) -> usize {
+        (**self).num_inputs()
+    }
+    fn next_state(&self, state: usize, input: usize) -> usize {
+        (**self).next_state(state, input)
+    }
+}
+
+/// Returns `true` if `(pi, tau)` is a *partition pair* for the transition
+/// function `delta`, i.e.
+///
+/// > `(s, t) ∈ π  ⇒  ∀ i ∈ I: (δ(s,i), δ(t,i)) ∈ τ`  (Definition 4).
+///
+/// # Example
+///
+/// ```
+/// use stc_partition::{Partition, Transitions, is_partition_pair};
+///
+/// struct Mod4Counter;
+/// impl Transitions for Mod4Counter {
+///     fn num_states(&self) -> usize { 4 }
+///     fn num_inputs(&self) -> usize { 1 }
+///     fn next_state(&self, s: usize, _i: usize) -> usize { (s + 1) % 4 }
+/// }
+///
+/// // Grouping {0,2} and {1,3} maps onto itself under +1 (mod 4).
+/// let pi = Partition::from_blocks(4, &[vec![0, 2], vec![1, 3]])?;
+/// assert!(is_partition_pair(&Mod4Counter, &pi, &pi));
+/// # Ok::<(), stc_partition::PartitionError>(())
+/// ```
+#[must_use]
+pub fn is_partition_pair<T: Transitions + ?Sized>(
+    delta: &T,
+    pi: &Partition,
+    tau: &Partition,
+) -> bool {
+    for block in pi.blocks() {
+        let first = block[0];
+        for &s in &block[1..] {
+            for i in 0..delta.num_inputs() {
+                if !tau.same_block(delta.next_state(first, i), delta.next_state(s, i)) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Returns `true` if `(pi, tau)` is a *symmetric* partition pair, i.e. both
+/// `(pi, tau)` and `(tau, pi)` are partition pairs (Definition 4).
+#[must_use]
+pub fn is_symmetric_pair<T: Transitions + ?Sized>(
+    delta: &T,
+    pi: &Partition,
+    tau: &Partition,
+) -> bool {
+    is_partition_pair(delta, pi, tau) && is_partition_pair(delta, tau, pi)
+}
+
+/// Computes `m(π)`: the smallest (finest) partition `τ` such that `(π, τ)` is
+/// a partition pair for `delta` (Definition 5).
+///
+/// `m(π)` is obtained by identifying `δ(s, i)` and `δ(t, i)` for every pair
+/// `s, t` in a common block of `π` and every input `i`, and closing
+/// transitively.
+///
+/// # Panics
+///
+/// Panics if `pi` is not a partition of `delta`'s state set.
+#[must_use]
+pub fn m_operator<T: Transitions + ?Sized>(delta: &T, pi: &Partition) -> Partition {
+    let n = delta.num_states();
+    assert_eq!(
+        pi.ground_set_size(),
+        n,
+        "partition ground set must match the machine's state count"
+    );
+    let mut dsu = DisjointSets::new(n);
+    for block in pi.blocks() {
+        let first = block[0];
+        for &s in &block[1..] {
+            for i in 0..delta.num_inputs() {
+                dsu.union(delta.next_state(first, i), delta.next_state(s, i));
+            }
+        }
+    }
+    Partition::from_disjoint_sets(&mut dsu)
+}
+
+/// Computes `M(τ)`: the largest (coarsest) partition `π` such that `(π, τ)` is
+/// a partition pair for `delta` (Definition 5).
+///
+/// Two states `s, t` may share a block of `M(τ)` iff `δ(s, i)` and `δ(t, i)`
+/// are `τ`-equivalent for every input `i`; because `τ` is an equivalence this
+/// compatibility relation is itself an equivalence, so `M(τ)` is simply its
+/// partition.
+///
+/// # Panics
+///
+/// Panics if `tau` is not a partition of `delta`'s state set.
+#[must_use]
+pub fn big_m_operator<T: Transitions + ?Sized>(delta: &T, tau: &Partition) -> Partition {
+    let n = delta.num_states();
+    assert_eq!(
+        tau.ground_set_size(),
+        n,
+        "partition ground set must match the machine's state count"
+    );
+    // The signature of a state is the vector of τ-blocks hit by its successors;
+    // states are M(τ)-equivalent iff their signatures agree.
+    let mut signatures: Vec<Vec<usize>> = Vec::with_capacity(n);
+    for s in 0..n {
+        let sig = (0..delta.num_inputs())
+            .map(|i| tau.block_of(delta.next_state(s, i)))
+            .collect();
+        signatures.push(sig);
+    }
+    let mut labels = vec![0usize; n];
+    let mut seen: std::collections::HashMap<&[usize], usize> = std::collections::HashMap::new();
+    for s in 0..n {
+        let next = seen.len();
+        labels[s] = *seen.entry(signatures[s].as_slice()).or_insert(next);
+    }
+    Partition::from_labels(&labels)
+}
+
+/// The basis relation `ρ_{s,t}`: the partition identifying exactly the states
+/// `s` and `t` and distinguishing all others (the identity if `s == t`).
+///
+/// # Panics
+///
+/// Panics if `s` or `t` is not smaller than `n`.
+#[must_use]
+pub fn pair_identifying(n: usize, s: usize, t: usize) -> Partition {
+    assert!(s < n && t < n, "states must lie in the ground set");
+    Partition::from_pairs(n, [(s, t)]).expect("indices were checked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The example machine of Fig. 5 of the paper (states 1..4 ↦ 0..3, inputs
+    /// column order I = {1, 0} ↦ {0, 1}).
+    pub(crate) struct Fig5;
+
+    impl Transitions for Fig5 {
+        fn num_states(&self) -> usize {
+            4
+        }
+        fn num_inputs(&self) -> usize {
+            2
+        }
+        fn next_state(&self, s: usize, i: usize) -> usize {
+            // next-state table: δ(1,1)=3, δ(1,0)=1 ; δ(2,1)=2, δ(2,0)=4 ;
+            //                   δ(3,1)=1, δ(3,0)=3 ; δ(4,1)=4, δ(4,0)=2
+            // (δ(2,1) is reconstructed from Fig. 7 of the paper, which forces
+            // δ(2,1) ∈ {2,3}; the scanned Fig. 5 is ambiguous at that entry.)
+            const TABLE: [[usize; 2]; 4] = [[2, 0], [1, 3], [0, 2], [3, 1]];
+            TABLE[s][i]
+        }
+    }
+
+    fn pi() -> Partition {
+        Partition::from_blocks(4, &[vec![0, 1], vec![2, 3]]).unwrap()
+    }
+
+    fn tau() -> Partition {
+        Partition::from_blocks(4, &[vec![0, 3], vec![1, 2]]).unwrap()
+    }
+
+    #[test]
+    fn paper_example_is_symmetric_pair() {
+        assert!(is_partition_pair(&Fig5, &pi(), &tau()));
+        assert!(is_partition_pair(&Fig5, &tau(), &pi()));
+        assert!(is_symmetric_pair(&Fig5, &pi(), &tau()));
+    }
+
+    #[test]
+    fn paper_example_intersection_is_identity() {
+        let meet = pi().meet(&tau()).unwrap();
+        assert!(meet.is_identity());
+    }
+
+    #[test]
+    fn identity_and_universal_are_always_pairs() {
+        let id = Partition::identity(4);
+        let uni = Partition::universal(4);
+        assert!(is_partition_pair(&Fig5, &id, &id));
+        assert!(is_symmetric_pair(&Fig5, &id, &id));
+        assert!(is_partition_pair(&Fig5, &uni, &uni));
+        // (identity, anything) is a partition pair because the premise only
+        // relates equal states.
+        assert!(is_partition_pair(&Fig5, &id, &uni));
+    }
+
+    #[test]
+    fn m_of_identity_is_identity_or_finer_consistent() {
+        // m(identity) must always be the identity partition: no pairs to map.
+        let m = m_operator(&Fig5, &Partition::identity(4));
+        assert!(m.is_identity());
+    }
+
+    #[test]
+    fn m_operator_gives_smallest_partner() {
+        let m_pi = m_operator(&Fig5, &pi());
+        // (π, m(π)) must be a partition pair and m(π) must refine any other
+        // partner, in particular τ.
+        assert!(is_partition_pair(&Fig5, &pi(), &m_pi));
+        assert!(m_pi.refines(&tau()));
+    }
+
+    #[test]
+    fn big_m_operator_gives_largest_partner() {
+        let cap_m_tau = big_m_operator(&Fig5, &tau());
+        assert!(is_partition_pair(&Fig5, &cap_m_tau, &tau()));
+        // π must be contained in M(τ).
+        assert!(pi().refines(&cap_m_tau));
+    }
+
+    #[test]
+    fn galois_connection_between_m_and_big_m() {
+        // For every partition π: π ≤ M(m(π)) and m(M(τ)) ≤ τ.
+        for p in crate::lattice::enumerate_partitions(4) {
+            let m_p = m_operator(&Fig5, &p);
+            assert!(p.refines(&big_m_operator(&Fig5, &m_p)));
+            let big = big_m_operator(&Fig5, &p);
+            assert!(m_operator(&Fig5, &big).refines(&p));
+        }
+    }
+
+    #[test]
+    fn m_is_monotone() {
+        let a = Partition::from_blocks(4, &[vec![0, 1], vec![2], vec![3]]).unwrap();
+        let b = pi();
+        assert!(a.refines(&b));
+        assert!(m_operator(&Fig5, &a).refines(&m_operator(&Fig5, &b)));
+    }
+
+    #[test]
+    fn pair_identifying_basics() {
+        let rho = pair_identifying(5, 1, 3);
+        assert_eq!(rho.num_blocks(), 4);
+        assert!(rho.same_block(1, 3));
+        let diag = pair_identifying(5, 2, 2);
+        assert!(diag.is_identity());
+    }
+
+    #[test]
+    #[should_panic(expected = "ground set")]
+    fn m_operator_checks_ground_set() {
+        let _ = m_operator(&Fig5, &Partition::identity(3));
+    }
+}

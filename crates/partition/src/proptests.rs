@@ -1,0 +1,164 @@
+//! Property-based tests for the partition lattice and the `m`/`M` operators.
+
+use crate::lattice::enumerate_partitions;
+use crate::pairs::{big_m_operator, is_partition_pair, m_operator, Transitions};
+use crate::partition::Partition;
+use proptest::prelude::*;
+
+/// A random complete transition function over `n` states and `k` inputs,
+/// stored as a flat table.
+#[derive(Debug, Clone)]
+struct TableMachine {
+    n: usize,
+    k: usize,
+    table: Vec<usize>,
+}
+
+impl Transitions for TableMachine {
+    fn num_states(&self) -> usize {
+        self.n
+    }
+    fn num_inputs(&self) -> usize {
+        self.k
+    }
+    fn next_state(&self, state: usize, input: usize) -> usize {
+        self.table[state * self.k + input]
+    }
+}
+
+fn arb_machine(max_states: usize, max_inputs: usize) -> impl Strategy<Value = TableMachine> {
+    (2..=max_states, 1..=max_inputs).prop_flat_map(|(n, k)| {
+        proptest::collection::vec(0..n, n * k).prop_map(move |table| TableMachine { n, k, table })
+    })
+}
+
+fn arb_labels(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..n, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn meet_is_lower_bound(labels_a in arb_labels(8), labels_b in arb_labels(8)) {
+        let a = Partition::from_labels(&labels_a);
+        let b = Partition::from_labels(&labels_b);
+        let m = a.meet(&b).unwrap();
+        prop_assert!(m.refines(&a));
+        prop_assert!(m.refines(&b));
+    }
+
+    #[test]
+    fn join_is_upper_bound(labels_a in arb_labels(8), labels_b in arb_labels(8)) {
+        let a = Partition::from_labels(&labels_a);
+        let b = Partition::from_labels(&labels_b);
+        let j = a.join(&b).unwrap();
+        prop_assert!(a.refines(&j));
+        prop_assert!(b.refines(&j));
+    }
+
+    #[test]
+    fn meet_join_commute_and_are_idempotent(labels_a in arb_labels(7), labels_b in arb_labels(7)) {
+        let a = Partition::from_labels(&labels_a);
+        let b = Partition::from_labels(&labels_b);
+        prop_assert_eq!(a.meet(&b).unwrap(), b.meet(&a).unwrap());
+        prop_assert_eq!(a.join(&b).unwrap(), b.join(&a).unwrap());
+        prop_assert_eq!(a.meet(&a).unwrap(), a.clone());
+        prop_assert_eq!(a.join(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn absorption_laws(labels_a in arb_labels(6), labels_b in arb_labels(6)) {
+        let a = Partition::from_labels(&labels_a);
+        let b = Partition::from_labels(&labels_b);
+        // a ∧ (a ∨ b) = a and a ∨ (a ∧ b) = a.
+        prop_assert_eq!(a.meet(&a.join(&b).unwrap()).unwrap(), a.clone());
+        prop_assert_eq!(a.join(&a.meet(&b).unwrap()).unwrap(), a);
+    }
+
+    #[test]
+    fn refinement_is_antisymmetric(labels_a in arb_labels(7), labels_b in arb_labels(7)) {
+        let a = Partition::from_labels(&labels_a);
+        let b = Partition::from_labels(&labels_b);
+        if a.refines(&b) && b.refines(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn identity_and_universal_are_extremes(labels in arb_labels(9)) {
+        let p = Partition::from_labels(&labels);
+        let n = p.ground_set_size();
+        prop_assert!(Partition::identity(n).refines(&p));
+        prop_assert!(p.refines(&Partition::universal(n)));
+    }
+
+    #[test]
+    fn m_gives_a_partition_pair(machine in arb_machine(7, 3), labels in arb_labels(7)) {
+        let labels: Vec<usize> = labels.into_iter().take(machine.n).map(|l| l % machine.n).collect();
+        let pi = Partition::from_labels(&labels);
+        let tau = m_operator(&machine, &pi);
+        prop_assert!(is_partition_pair(&machine, &pi, &tau));
+    }
+
+    #[test]
+    fn m_is_the_smallest_partner(machine in arb_machine(5, 2), labels in arb_labels(5)) {
+        let labels: Vec<usize> = labels.into_iter().take(machine.n).map(|l| l % machine.n).collect();
+        let pi = Partition::from_labels(&labels);
+        let m_pi = m_operator(&machine, &pi);
+        for tau in enumerate_partitions(machine.n) {
+            if is_partition_pair(&machine, &pi, &tau) {
+                prop_assert!(m_pi.refines(&tau), "m(π) must refine every partner");
+            }
+        }
+    }
+
+    #[test]
+    fn big_m_gives_a_partition_pair(machine in arb_machine(7, 3), labels in arb_labels(7)) {
+        let labels: Vec<usize> = labels.into_iter().take(machine.n).map(|l| l % machine.n).collect();
+        let tau = Partition::from_labels(&labels);
+        let pi = big_m_operator(&machine, &tau);
+        prop_assert!(is_partition_pair(&machine, &pi, &tau));
+    }
+
+    #[test]
+    fn big_m_is_the_largest_partner(machine in arb_machine(5, 2), labels in arb_labels(5)) {
+        let labels: Vec<usize> = labels.into_iter().take(machine.n).map(|l| l % machine.n).collect();
+        let tau = Partition::from_labels(&labels);
+        let cap_m = big_m_operator(&machine, &tau);
+        for pi in enumerate_partitions(machine.n) {
+            if is_partition_pair(&machine, &pi, &tau) {
+                prop_assert!(pi.refines(&cap_m), "every partner must refine M(τ)");
+            }
+        }
+    }
+
+    #[test]
+    fn galois_connection(machine in arb_machine(6, 3), labels in arb_labels(6)) {
+        let labels: Vec<usize> = labels.into_iter().take(machine.n).map(|l| l % machine.n).collect();
+        let p = Partition::from_labels(&labels);
+        // π ≤ M(m(π)) and m(M(π)) ≤ π.
+        prop_assert!(p.refines(&big_m_operator(&machine, &m_operator(&machine, &p))));
+        prop_assert!(m_operator(&machine, &big_m_operator(&machine, &p)).refines(&p));
+    }
+
+    #[test]
+    fn operators_are_monotone(machine in arb_machine(6, 2), labels in arb_labels(6)) {
+        let labels: Vec<usize> = labels.into_iter().take(machine.n).map(|l| l % machine.n).collect();
+        let pi = Partition::from_labels(&labels);
+        // Coarsen π by joining with a basis pair; monotonicity must hold.
+        let coarser = pi.join(&Partition::from_pairs(machine.n, [(0, machine.n - 1)]).unwrap()).unwrap();
+        prop_assert!(m_operator(&machine, &pi).refines(&m_operator(&machine, &coarser)));
+        prop_assert!(big_m_operator(&machine, &pi).refines(&big_m_operator(&machine, &coarser)));
+    }
+
+    #[test]
+    fn from_pairs_equals_join_of_generators(pairs in proptest::collection::vec((0..8usize, 0..8usize), 0..10)) {
+        let p = Partition::from_pairs(8, pairs.iter().copied()).unwrap();
+        let mut joined = Partition::identity(8);
+        for &(a, b) in &pairs {
+            joined = joined.join(&Partition::from_pairs(8, [(a, b)]).unwrap()).unwrap();
+        }
+        prop_assert_eq!(p, joined);
+    }
+}

@@ -1,0 +1,49 @@
+//! Runs the OSTR solver over the whole embedded benchmark suite and prints a
+//! compact Table-1-style summary — a smaller, faster version of the
+//! `table1` / `table2` binaries in `stc-bench`.
+//!
+//! Run with `cargo run --release --example benchmark_sweep`.
+
+use std::time::Duration;
+
+use stc::fsm::benchmarks;
+use stc::synth::{OstrSolver, SolverConfig};
+
+fn main() {
+    let config = SolverConfig {
+        max_nodes: 100_000,
+        time_limit: Some(Duration::from_secs(5)),
+        lemma1_pruning: true,
+        stop_at_lower_bound: true,
+    };
+    println!(
+        "{:<10} {:>4} {:>6} {:>6} {:>10} {:>12} {:>10} {:>8}",
+        "name", "|S|", "|S1|", "|S2|", "conv. FF", "pipeline FF", "nodes", "time"
+    );
+    let mut nontrivial = 0usize;
+    for benchmark in benchmarks::suite() {
+        let outcome = OstrSolver::new(config).solve(&benchmark.machine);
+        let states = benchmark.machine.num_states();
+        let conv_ff = 2 * stc::fsm::ceil_log2(states);
+        if outcome.best.cost.s1() < states || outcome.best.cost.s2() < states {
+            nontrivial += 1;
+        }
+        println!(
+            "{:<10} {:>4} {:>6} {:>6} {:>10} {:>12} {:>10} {:>7.1}ms{}",
+            benchmark.name(),
+            states,
+            outcome.best.cost.s1(),
+            outcome.best.cost.s2(),
+            conv_ff,
+            outcome.pipeline_flipflops(),
+            outcome.stats.nodes_investigated,
+            outcome.stats.elapsed_micros as f64 / 1000.0,
+            if outcome.stats.budget_exhausted {
+                " (budget)"
+            } else {
+                ""
+            }
+        );
+    }
+    println!("\nnon-trivial decompositions: {nontrivial}/13 (paper: 8/13)");
+}

@@ -1,0 +1,73 @@
+//! Quickstart: the paper's worked example (Figs. 5–8) end to end.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use stc::prelude::*;
+
+fn main() {
+    // The 4-state machine of Fig. 5.
+    let machine = stc::fsm::paper_example();
+    println!("Specification:\n{machine}");
+
+    // State equivalence ε (needed for the π ∩ τ ⊆ ε condition).
+    let eps = state_equivalence(&machine);
+    println!("state equivalence ε = {eps}\n");
+
+    // Solve problem OSTR: find the cheapest symmetric partition pair.
+    let outcome = solve(&machine);
+    println!(
+        "OSTR solution: π = {}, τ = {}  ({})",
+        outcome.best.pi, outcome.best.tau, outcome.best.cost
+    );
+    println!(
+        "search statistics: basis |M| = {}, nodes investigated = {}, subtrees pruned = {}\n",
+        outcome.stats.basis_size, outcome.stats.nodes_investigated, outcome.stats.subtrees_pruned
+    );
+
+    // Theorem 1: build the pipeline realization M* and verify it.
+    let realization = outcome.best.realize(&machine);
+    assert!(realization.verify(&machine).is_none());
+    println!(
+        "realization M*: |S1| = {}, |S2| = {} (Fig. 8 structure, {} flip-flops)",
+        realization.s1_len(),
+        realization.s2_len(),
+        outcome.pipeline_flipflops()
+    );
+    println!("δ1 table: {:?}", realization.tables.delta1);
+    println!("δ2 table: {:?}", realization.tables.delta2);
+
+    // State coding + logic minimisation (the second synthesis step).
+    let encoded = EncodedPipeline::new(&machine, &realization, EncodingStrategy::Binary);
+    let pipeline = synthesize_pipeline(&encoded, SynthOptions::default());
+    println!(
+        "\nsynthesised pipeline logic: C1 = {} literals, C2 = {} literals, output logic = {} literals",
+        pipeline.c1.literal_count(),
+        pipeline.c2.literal_count(),
+        pipeline.output.literal_count()
+    );
+
+    // Two-session self-test (R1 generates / R2 analyses, then swapped).
+    let self_test = pipeline_self_test(&pipeline, 128);
+    println!(
+        "self-test: session 1 ({}) coverage {:.1}%, session 2 ({}) coverage {:.1}%, overall {:.1}%",
+        self_test.session1.block,
+        100.0 * self_test.session1.coverage(),
+        self_test.session2.block,
+        100.0 * self_test.session2.coverage(),
+        100.0 * self_test.overall_coverage()
+    );
+
+    // Architecture comparison (Figs. 1-4).
+    let reports = evaluate_architectures(&machine, &ArchitectureOptions::default());
+    println!("\narchitecture comparison:");
+    for r in &reports {
+        println!(
+            "  {:<26} flip-flops = {}, gates = {}, depth = {}, untestable faults = {}",
+            r.architecture.name(),
+            r.flipflops,
+            r.gate_count,
+            r.logic_depth,
+            r.untestable_faults
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! # stc — Synthesis of Self-Testable Controllers
+//!
+//! A Rust reproduction of Hellebrand & Wunderlich, *Synthesis of Self-Testable
+//! Controllers* (European Design and Test Conference, 1994).
+//!
+//! The paper synthesises controllers as **pipeline-like structures** with two
+//! registers `R1`, `R2` and two combinational blocks `C1`, `C2` arranged
+//! without direct feedback around either register.  Such a structure can be
+//! self-tested in two sessions — each register alternately generates patterns
+//! and compacts responses — without any extra test registers, without
+//! transparency/bypass delay, and with complete coverage of the register/logic
+//! interconnect.  The synthesis problem (**OSTR**) is solved at the FSM level
+//! with algebraic structure theory: find a symmetric partition pair `(π, τ)`
+//! with `π ∩ τ ⊆ ε` minimising the total register bits.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`fsm`] | Mealy machines, KISS2, state equivalence, benchmark suite |
+//! | [`partition`] | partition algebra, partition pairs, Mm-lattice |
+//! | [`synth`] | the OSTR solver and the Theorem 1 realization |
+//! | [`encoding`] | state assignment and bit-level machine views |
+//! | [`logic`] | two-level minimisation, netlists, area/delay estimation |
+//! | [`bist`] | LFSR/MISR/BILBO, fault simulation, architecture comparison |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use stc::prelude::*;
+//!
+//! // The worked example of the paper (Figs. 5-8).
+//! let machine = stc::fsm::paper_example();
+//!
+//! // Solve OSTR: find the cheapest symmetric partition pair.
+//! let outcome = stc::synth::solve(&machine);
+//! assert_eq!(outcome.pipeline_flipflops(), 2);
+//!
+//! // Build the pipeline realization (Theorem 1) and verify it.
+//! let realization = outcome.best.realize(&machine);
+//! assert!(realization.verify(&machine).is_none());
+//!
+//! // Synthesise the logic and compare the four architectures of Figs. 1-4.
+//! let reports = stc::bist::evaluate_architectures(&machine, &ArchitectureOptions::default());
+//! assert!(reports[3].flipflops <= reports[1].flipflops);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Mealy finite state machines, KISS2 parsing and the benchmark suite
+/// (re-export of [`stc_fsm`]).
+pub use stc_fsm as fsm;
+
+/// Partition algebra and the Mm-lattice (re-export of [`stc_partition`]).
+pub use stc_partition as partition;
+
+/// The OSTR solver and Theorem 1 realizations (re-export of [`stc_synth`]).
+pub use stc_synth as synth;
+
+/// State assignment (re-export of [`stc_encoding`]).
+pub use stc_encoding as encoding;
+
+/// Two-level logic synthesis and netlists (re-export of [`stc_logic`]).
+pub use stc_logic as logic;
+
+/// BIST registers, fault simulation and architecture comparison
+/// (re-export of [`stc_bist`]).
+pub use stc_bist as bist;
+
+/// The most commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use stc_bist::{
+        evaluate_architectures, pipeline_self_test, Architecture, ArchitectureOptions, Bilbo,
+        BilboMode, Lfsr, Misr,
+    };
+    pub use stc_encoding::{EncodedMachine, EncodedPipeline, Encoding, EncodingStrategy};
+    pub use stc_fsm::{kiss2, state_equivalence, Mealy, MealyBuilder};
+    pub use stc_logic::{synthesize_controller, synthesize_pipeline, Netlist, SynthOptions};
+    pub use stc_partition::{is_symmetric_pair, Partition};
+    pub use stc_synth::{solve, Cost, OstrSolver, Realization, SolverConfig};
+}
