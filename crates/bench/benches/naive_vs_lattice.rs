@@ -10,8 +10,14 @@ fn naive_vs_lattice(c: &mut Criterion) {
     group.sample_size(10);
     let machines = vec![
         ("paper_fig5".to_string(), paper_example()),
-        ("random_5".to_string(), random_machine("random_5", 5, 2, 2, 7)),
-        ("random_6".to_string(), random_machine("random_6", 6, 2, 2, 11)),
+        (
+            "random_5".to_string(),
+            random_machine("random_5", 5, 2, 2, 7),
+        ),
+        (
+            "random_6".to_string(),
+            random_machine("random_6", 6, 2, 2, 11),
+        ),
     ];
     for (name, machine) in &machines {
         group.bench_with_input(BenchmarkId::new("lattice", name), machine, |b, m| {

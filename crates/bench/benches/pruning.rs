@@ -23,9 +23,13 @@ fn pruning(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("with_pruning", name), &machine, |b, m| {
             b.iter(|| OstrSolver::new(config(true)).solve(m));
         });
-        group.bench_with_input(BenchmarkId::new("without_pruning", name), &machine, |b, m| {
-            b.iter(|| OstrSolver::new(config(false)).solve(m));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("without_pruning", name),
+            &machine,
+            |b, m| {
+                b.iter(|| OstrSolver::new(config(false)).solve(m));
+            },
+        );
     }
     group.finish();
 }

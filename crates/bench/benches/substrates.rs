@@ -9,7 +9,9 @@ use stc_logic::{synthesize_controller, SynthOptions};
 use stc_partition::{basis_partitions, big_m_operator, m_operator, Partition};
 
 fn substrates(c: &mut Criterion) {
-    let machine = benchmarks::by_name("shiftreg").expect("benchmark exists").machine;
+    let machine = benchmarks::by_name("shiftreg")
+        .expect("benchmark exists")
+        .machine;
 
     c.bench_function("partition/basis_shiftreg", |b| {
         b.iter(|| basis_partitions(&machine));

@@ -96,7 +96,10 @@ impl Default for ArchitectureOptions {
 ///
 /// The returned vector is ordered as [`Architecture::all`].
 #[must_use]
-pub fn evaluate_architectures(machine: &Mealy, options: &ArchitectureOptions) -> Vec<ArchitectureReport> {
+pub fn evaluate_architectures(
+    machine: &Mealy,
+    options: &ArchitectureOptions,
+) -> Vec<ArchitectureReport> {
     let encoded = EncodedMachine::new(machine, options.encoding);
     let controller = synthesize_controller(&encoded, options.synth);
     let c_netlist = &controller.block.netlist;
@@ -252,7 +255,10 @@ mod tests {
     #[test]
     fn pipeline_and_doubled_have_no_untestable_faults() {
         let reports = evaluate_architectures(&paper_example(), &ArchitectureOptions::default());
-        assert!(reports[1].untestable_faults > 0, "fig 2 has untested feedback lines");
+        assert!(
+            reports[1].untestable_faults > 0,
+            "fig 2 has untested feedback lines"
+        );
         assert_eq!(reports[2].untestable_faults, 0);
         assert_eq!(reports[3].untestable_faults, 0);
     }

@@ -131,12 +131,7 @@ pub fn simulate_faults(
 pub fn exhaustive_patterns(num_inputs: usize) -> Vec<Vec<bool>> {
     assert!(num_inputs <= 20, "exhaustive patterns limited to 20 inputs");
     (0u64..(1u64 << num_inputs))
-        .map(|v| {
-            (0..num_inputs)
-                .rev()
-                .map(|b| (v >> b) & 1 == 1)
-                .collect()
-        })
+        .map(|v| (0..num_inputs).rev().map(|b| (v >> b) & 1 == 1).collect())
         .collect()
 }
 
@@ -187,7 +182,11 @@ mod tests {
         let faults = fault_list(&n);
         let report = simulate_faults(&n, &exhaustive_patterns(2), &faults, None);
         assert_eq!(report.total_faults, faults.len());
-        assert_eq!(report.detected, report.total_faults, "{:?}", report.undetected);
+        assert_eq!(
+            report.detected, report.total_faults,
+            "{:?}",
+            report.undetected
+        );
         assert!((report.coverage() - 1.0).abs() < 1e-12);
     }
 

@@ -9,18 +9,18 @@ use serde::{Deserialize, Serialize};
 /// `x^w + x^t + … + 1` notation) of a primitive polynomial of degree `w`, so
 /// the corresponding LFSR runs through all `2^w − 1` non-zero states.
 pub const PRIMITIVE_TAPS: [&[u32]; 25] = [
-    &[],            // width 0 (unused)
-    &[1],           // x + 1
-    &[2, 1],        // x^2 + x + 1
-    &[3, 2],        // x^3 + x^2 + 1
-    &[4, 3],        // x^4 + x^3 + 1
-    &[5, 3],        // x^5 + x^3 + 1
-    &[6, 5],        // x^6 + x^5 + 1
-    &[7, 6],        // x^7 + x^6 + 1
-    &[8, 6, 5, 4],  // x^8 + x^6 + x^5 + x^4 + 1
-    &[9, 5],        // x^9 + x^5 + 1
-    &[10, 7],       // x^10 + x^7 + 1
-    &[11, 9],       // x^11 + x^9 + 1
+    &[],           // width 0 (unused)
+    &[1],          // x + 1
+    &[2, 1],       // x^2 + x + 1
+    &[3, 2],       // x^3 + x^2 + 1
+    &[4, 3],       // x^4 + x^3 + 1
+    &[5, 3],       // x^5 + x^3 + 1
+    &[6, 5],       // x^6 + x^5 + 1
+    &[7, 6],       // x^7 + x^6 + 1
+    &[8, 6, 5, 4], // x^8 + x^6 + x^5 + x^4 + 1
+    &[9, 5],       // x^9 + x^5 + 1
+    &[10, 7],      // x^10 + x^7 + 1
+    &[11, 9],      // x^11 + x^9 + 1
     &[12, 11, 10, 4],
     &[13, 12, 11, 8],
     &[14, 13, 12, 2],
@@ -58,6 +58,7 @@ pub struct Lfsr {
     width: u32,
     taps: Vec<u32>,
     state: u64,
+    de_bruijn: bool,
 }
 
 impl Lfsr {
@@ -81,6 +82,7 @@ impl Lfsr {
             width,
             taps: taps.to_vec(),
             state: seed,
+            de_bruijn: false,
         }
     }
 
@@ -97,6 +99,25 @@ impl Lfsr {
             "primitive polynomials are tabulated for widths 1..=24"
         );
         Self::new(width, PRIMITIVE_TAPS[width as usize], seed)
+    }
+
+    /// Creates a *modified* (de Bruijn) LFSR: a maximal-length LFSR with the
+    /// standard extra NOR-gate term that splices the all-zero state into the
+    /// cycle, so the register visits **all** `2^width` states per period.
+    ///
+    /// This is the form used as an exhaustive pattern source: a plain
+    /// maximal-length LFSR skips the all-zero pattern (and degenerates to a
+    /// constant for width 1), which leaves input combinations — and hence
+    /// faults — untested on small blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=24` or the seed is zero.
+    #[must_use]
+    pub fn de_bruijn(width: u32, seed: u64) -> Self {
+        let mut lfsr = Self::with_primitive_polynomial(width, seed);
+        lfsr.de_bruijn = true;
+        lfsr
     }
 
     /// The register width in bits.
@@ -123,10 +144,15 @@ impl Lfsr {
 
     /// Advances the register by one clock and returns the *new* state.
     pub fn step(&mut self) -> u64 {
-        let feedback = self
+        let mut feedback = self
             .taps
             .iter()
             .fold(0u64, |acc, &t| acc ^ ((self.state >> (t - 1)) & 1));
+        if self.de_bruijn && self.state & ((1u64 << (self.width - 1)) - 1) == 0 {
+            // NOR of the low width−1 bits: inverts the feedback next to the
+            // states `10…0` and `00…0`, splicing zero into the cycle.
+            feedback ^= 1;
+        }
         self.state = ((self.state << 1) | feedback) & ((1u64 << self.width) - 1);
         self.state
     }
@@ -185,13 +211,36 @@ mod tests {
     }
 
     #[test]
+    fn de_bruijn_visits_every_state_including_zero() {
+        for width in 1..=10u32 {
+            let mut lfsr = Lfsr::de_bruijn(width, 1);
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..(1u64 << width) {
+                seen.insert(lfsr.step());
+            }
+            assert_eq!(
+                seen.len() as u64,
+                1u64 << width,
+                "width {width} misses states"
+            );
+            assert!(seen.contains(&0), "width {width} skips the zero state");
+        }
+    }
+
+    #[test]
+    fn de_bruijn_width_one_toggles() {
+        let mut lfsr = Lfsr::de_bruijn(1, 1);
+        assert_eq!(lfsr.step(), 0);
+        assert_eq!(lfsr.step(), 1);
+        assert_eq!(lfsr.step(), 0);
+    }
+
+    #[test]
     fn state_bits_match_state() {
         let lfsr = Lfsr::with_primitive_polynomial(5, 0b10110);
         let bits = lfsr.state_bits();
         assert_eq!(bits.len(), 5);
-        let reconstructed = bits
-            .iter()
-            .fold(0u64, |acc, &b| (acc << 1) | u64::from(b));
+        let reconstructed = bits.iter().fold(0u64, |acc, &b| (acc << 1) | u64::from(b));
         assert_eq!(reconstructed, lfsr.state());
     }
 

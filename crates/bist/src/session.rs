@@ -9,7 +9,8 @@
 //! coverage.
 
 use crate::bilbo::{Bilbo, BilboMode};
-use crate::fault::{fault_list, lfsr_patterns};
+use crate::fault::fault_list;
+use crate::lfsr::Lfsr;
 use serde::{Deserialize, Serialize};
 use stc_logic::{Netlist, PipelineLogic};
 
@@ -72,60 +73,52 @@ pub fn pipeline_self_test(pipeline: &PipelineLogic, patterns_per_session: usize)
     let session1 = run_session(
         "C1",
         &pipeline.c1.netlist,
-        pipeline.input_bits,
-        pipeline.r1_bits,
         pipeline.r2_bits,
         patterns_per_session,
     );
     let session2 = run_session(
         "C2",
         &pipeline.c2.netlist,
-        pipeline.input_bits,
-        pipeline.r2_bits,
         pipeline.r1_bits,
         patterns_per_session,
     );
     SelfTestResult { session1, session2 }
 }
 
-/// Runs one session: the generating register spans `gen_bits`, the analysing
-/// register spans `ana_bits`, and the block's primary inputs are driven by a
-/// separate pattern source (as in any BIST scheme the primary inputs need a
-/// pattern source; an input LFSR is assumed).
-fn run_session(
-    name: &str,
-    block: &Netlist,
-    input_bits: u32,
-    gen_bits: u32,
-    ana_bits: u32,
-    patterns: usize,
-) -> SessionResult {
-    let gen_width = gen_bits.max(1);
+/// Runs one session: the analysing register spans `ana_bits`, and the block
+/// under test is driven across its whole input cone.
+///
+/// The generating register and the primary-input source are modelled as one
+/// combined *modified* (de Bruijn) LFSR spanning the block's input cone
+/// `I ∪ R_gen`.  A plain maximal-length LFSR skips the all-zero pattern — and
+/// degenerates to a constant for 1-bit registers, which the worked example's
+/// two 1-bit factor registers actually produce — so it can leave whole input
+/// combinations untested; the modified LFSR visits all `2^k` input vectors
+/// per period, realizing the paper's claim that each block is tested
+/// exhaustively within its session.
+fn run_session(name: &str, block: &Netlist, ana_bits: u32, patterns: usize) -> SessionResult {
+    let source_width = (block.num_inputs() as u32).clamp(1, 24);
     // The analysing register comprises the receiving state register plus the
     // output-observation stages; model it as at least 16 bits so the aliasing
     // probability (~2^-width) is negligible, as it is in real BIST hardware.
     let ana_width = ana_bits.max(16).clamp(1, 24);
-    let primary_patterns = lfsr_patterns(input_bits as usize, patterns, 0xace1);
 
     let signature_of = |fault: Option<(usize, bool)>| -> u64 {
-        let mut generator = Bilbo::new(gen_width, 0b1);
-        generator.set_mode(BilboMode::PatternGeneration);
+        let mut source = Lfsr::de_bruijn(source_width, 0b1);
+        // Blocks with an input cone wider than the tabulated polynomials get
+        // the excess bits from a free-running auxiliary LFSR (pseudo-random
+        // rather than exhaustive — such cones are too wide to exhaust anyway).
+        let mut aux = Lfsr::with_primitive_polynomial(16, 0xace1);
         let mut analyser = Bilbo::new(ana_width, 0);
         analyser.set_mode(BilboMode::SignatureAnalysis);
-        for step in 0..patterns {
-            let zeros = vec![false; gen_width as usize];
-            let state_pattern = generator.clock(&zeros);
-            let mut inputs: Vec<bool> = if input_bits == 0 {
-                Vec::new()
-            } else {
-                primary_patterns[step].clone()
-            };
-            inputs.extend(state_pattern);
-            // The block's input width is input_bits + gen_bits; the generator
-            // register is exactly gen_bits wide unless gen_bits is 0.
+        for _ in 0..patterns {
+            source.step();
+            let mut inputs = source.state_bits();
             inputs.truncate(block.num_inputs());
             while inputs.len() < block.num_inputs() {
-                inputs.push(false);
+                aux.step();
+                let needed = block.num_inputs() - inputs.len();
+                inputs.extend(aux.state_bits().into_iter().take(needed));
             }
             let response = block.evaluate_with_fault(&inputs, fault);
             let mut padded = response;

@@ -55,10 +55,7 @@ pub fn solve_naive(machine: &Mealy) -> (OstrSolution, NaiveStats) {
     for pi in &partitions {
         for tau in &partitions {
             stats.pairs_examined += 1;
-            if !pi
-                .intersection_within(tau, &eps)
-                .expect("same ground set")
-            {
+            if !pi.intersection_within(tau, &eps).expect("same ground set") {
                 continue;
             }
             if !is_symmetric_pair(machine, pi, tau) {

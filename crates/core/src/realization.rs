@@ -146,8 +146,8 @@ impl Realization {
         let mut lambda = vec![vec![vec![None; k]; n2]; n1];
         for s in 0..machine.num_states() {
             let (b1, b2) = (pi.block_of(s), tau.block_of(s));
-            for i in 0..k {
-                lambda[b1][b2][i] = Some(machine.output(s, i));
+            for (i, slot) in lambda[b1][b2].iter_mut().enumerate() {
+                *slot = Some(machine.output(s, i));
             }
         }
 

@@ -1,20 +1,23 @@
 //! The depth-first OSTR search procedure of section 3 of the paper.
 //!
 //! The search space is the tree of subsets of the ordered basis
-//! `𝔐 = { m(ρ_{s,t}) }`; a node 𝒩 induces the candidate partition
-//! `κ = (∪𝒩)^t` (the join of its members) and the Mm-partner `M(κ)`.
-//! At every node two candidate pairs are examined — `(M(κ), κ)` and
-//! `(m(κ), κ)` — and the subtree is discarded when the Lemma 1 criterion
-//! `m(κ) ∩ κ ⊄ ε` holds, because the criterion is monotone along tree edges.
+//! `𝔐 = { symmetric_pair_closure(s, t) }` — the smallest symmetric partition
+//! pairs identifying one pair of states (in either orientation).  Because
+//! symmetric pairs are exactly the substitution-property partitions of the
+//! doubled machine, they are closed under component-wise join and every
+//! symmetric pair is a join of basis elements, so enumerating subset joins is
+//! *complete* for problem OSTR.  A node 𝒩 induces the candidate pair
+//! `κ = (κ_π, κ_τ) = ∨𝒩`, which is itself a symmetric pair; it is a solution
+//! when `κ_π ∩ κ_τ ⊆ ε`.  When that criterion fails, the whole subtree is
+//! discarded (the paper's Lemma 1): joins only coarsen both components, so
+//! the intersection only grows along tree edges.
 
 use crate::cost::Cost;
 use crate::realization::Realization;
 use serde::{Deserialize, Serialize};
-use std::time::{Duration, Instant};
 use stc_fsm::{state_equivalence, Mealy};
-use stc_partition::{
-    basis_partitions, big_m_operator, is_symmetric_pair, m_operator, Partition,
-};
+use stc_partition::{symmetric_basis, Partition};
+use std::time::{Duration, Instant};
 
 /// Configuration of the OSTR depth-first search.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -141,7 +144,7 @@ pub struct OstrSolver {
 struct SearchContext<'a> {
     machine: &'a Mealy,
     eps: Partition,
-    basis: Vec<Partition>,
+    basis: Vec<(Partition, Partition)>,
     config: SolverConfig,
     deadline: Option<Instant>,
     stats: SearchStats,
@@ -178,7 +181,7 @@ impl OstrSolver {
         let start = Instant::now();
         let n = machine.num_states();
         let eps = state_equivalence(machine);
-        let basis = basis_partitions(machine);
+        let basis = symmetric_basis(machine);
         let trivial = OstrSolution {
             pi: Partition::identity(n),
             tau: Partition::identity(n),
@@ -196,10 +199,10 @@ impl OstrSolver {
         };
         ctx.stats.basis_size = ctx.basis.len();
 
-        // The root node is the empty subset: κ = identity.  Evaluating it
-        // re-discovers the trivial solution; its children are the singleton
-        // subsets, explored in basis order.
-        let root = Partition::identity(n);
+        // The root node is the empty subset: κ = (identity, identity).
+        // Evaluating it re-discovers the trivial solution; its children are
+        // the singleton subsets, explored in basis order.
+        let root = (Partition::identity(n), Partition::identity(n));
         ctx.visit(&root, 0);
 
         ctx.stats.elapsed_micros = start.elapsed().as_micros() as u64;
@@ -213,27 +216,19 @@ impl OstrSolver {
 impl SearchContext<'_> {
     /// Visits the node whose κ is `kappa`, then recurses into children that
     /// extend the subset with basis elements of index `>= next_index`.
-    fn visit(&mut self, kappa: &Partition, next_index: usize) {
+    fn visit(&mut self, kappa: &(Partition, Partition), next_index: usize) {
         if self.out_of_budget() {
             return;
         }
         self.stats.nodes_investigated += 1;
 
-        // Candidate 1: (M(κ), κ).
-        let big_m = big_m_operator(self.machine, kappa);
-        self.try_candidate(&big_m, kappa);
-
-        // Candidate 2: (m(κ), κ).  The paper computes m(κ) only when
-        // M(κ) ∩ κ ⊄ ε; evaluating it unconditionally costs one cheap closure
-        // per node, never misses the better-balanced candidate of the two, and
-        // provides the Lemma 1 criterion in all cases.
-        let m_kappa = m_operator(self.machine, kappa);
-        let m_ok = self.try_candidate(&m_kappa, kappa);
-        // Lemma 1: if m(κ) ∩ κ ⊄ ε then the same holds for every successor,
-        // so the subtree is discarded.
-        let prune_subtree = self.config.lemma1_pruning && !m_ok;
-
-        if prune_subtree {
+        // Every node is a symmetric pair by construction (joins of symmetric
+        // pairs are symmetric pairs); it is a solution iff κ_π ∩ κ_τ ⊆ ε.
+        let meets_eps = self.try_candidate(kappa);
+        // Lemma 1: if κ_π ∩ κ_τ ⊄ ε then the same holds for every successor,
+        // because joining only coarsens both components and therefore the
+        // intersection; the subtree is discarded.
+        if self.config.lemma1_pruning && !meets_eps {
             self.stats.subtrees_pruned += 1;
             return;
         }
@@ -245,9 +240,17 @@ impl SearchContext<'_> {
             if self.out_of_budget() {
                 return;
             }
-            let child = kappa
-                .join(&self.basis[k])
-                .expect("basis partitions share the machine's ground set");
+            let (b_pi, b_tau) = &self.basis[k];
+            let child = (
+                kappa
+                    .0
+                    .join(b_pi)
+                    .expect("basis partitions share the machine's ground set"),
+                kappa
+                    .1
+                    .join(b_tau)
+                    .expect("basis partitions share the machine's ground set"),
+            );
             if &child == kappa {
                 // The basis element is already contained in κ; the child node
                 // is identical and exploring it would only duplicate work.
@@ -257,31 +260,26 @@ impl SearchContext<'_> {
         }
     }
 
-    /// Evaluates the candidate pair `(pi, kappa)`; records it as a solution if
-    /// it is a symmetric partition pair with `π ∩ κ ⊆ ε`.  Returns whether the
-    /// intersection condition held (used for the Lemma 1 test when
-    /// `pi = m(κ)`).
-    fn try_candidate(&mut self, pi: &Partition, kappa: &Partition) -> bool {
+    /// Evaluates the node's pair `(κ_π, κ_τ)`; records it as a solution if
+    /// `κ_π ∩ κ_τ ⊆ ε` (the pair is symmetric by construction).  Returns
+    /// whether the intersection condition held (the Lemma 1 criterion).
+    fn try_candidate(&mut self, kappa: &(Partition, Partition)) -> bool {
+        let (pi, tau) = kappa;
         let meets_eps = pi
-            .intersection_within(kappa, &self.eps)
+            .intersection_within(tau, &self.eps)
             .expect("partitions share the machine's ground set");
         if !meets_eps {
             return false;
         }
-        if !is_symmetric_pair(self.machine, pi, kappa) {
-            // One direction holds by construction of M(κ)/m(κ); the pair is a
-            // solution only if the other direction holds as well.
-            return true;
-        }
         self.stats.solutions_found += 1;
         // The pair is symmetric, so either orientation yields a realization;
         // pick the one with the better (more balanced) cost.
-        let forward = Cost::new(pi.num_blocks(), kappa.num_blocks());
-        let backward = Cost::new(kappa.num_blocks(), pi.num_blocks());
+        let forward = Cost::new(pi.num_blocks(), tau.num_blocks());
+        let backward = Cost::new(tau.num_blocks(), pi.num_blocks());
         let (cost, first, second) = if forward <= backward {
-            (forward, pi, kappa)
+            (forward, pi, tau)
         } else {
-            (backward, kappa, pi)
+            (backward, tau, pi)
         };
         if cost < self.best.cost {
             self.best = OstrSolution {
@@ -307,7 +305,7 @@ impl SearchContext<'_> {
         if let Some(deadline) = self.deadline {
             // Only check the clock every few hundred nodes to keep the hot
             // path cheap.
-            if self.stats.nodes_investigated % 256 == 0 && Instant::now() >= deadline {
+            if self.stats.nodes_investigated.is_multiple_of(256) && Instant::now() >= deadline {
                 self.stats.budget_exhausted = true;
                 return true;
             }

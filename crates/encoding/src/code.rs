@@ -1,8 +1,8 @@
 //! State-code assignment strategies.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use stc_fsm::Mealy;
+use std::collections::HashMap;
 
 /// A binary code assignment for a set of `items` symbols.
 ///

@@ -335,7 +335,11 @@ mod tests {
     #[test]
     fn every_benchmark_is_reachable_and_annotated() {
         for b in suite() {
-            assert!(is_strongly_reachable(&b.machine), "{} unreachable", b.name());
+            assert!(
+                is_strongly_reachable(&b.machine),
+                "{} unreachable",
+                b.name()
+            );
             assert!(b.table1.is_some(), "{} missing Table 1 row", b.name());
         }
     }
@@ -365,11 +369,17 @@ mod tests {
         // Shifting in 1,1,1 from state 000 outputs 0,0,0 and ends in 111.
         let start = m.state_index("000").unwrap();
         let (outs, end) = m.run(start, &[1, 1, 1]);
-        assert_eq!(outs.iter().map(|&o| m.output_name(o)).collect::<Vec<_>>(), ["0", "0", "0"]);
+        assert_eq!(
+            outs.iter().map(|&o| m.output_name(o)).collect::<Vec<_>>(),
+            ["0", "0", "0"]
+        );
         assert_eq!(m.state_name(end), "111");
         // Three more shifts of 0 push the ones out.
         let (outs, end) = m.run(end, &[0, 0, 0]);
-        assert_eq!(outs.iter().map(|&o| m.output_name(o)).collect::<Vec<_>>(), ["1", "1", "1"]);
+        assert_eq!(
+            outs.iter().map(|&o| m.output_name(o)).collect::<Vec<_>>(),
+            ["1", "1", "1"]
+        );
         assert_eq!(m.state_name(end), "000");
     }
 

@@ -31,20 +31,12 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Options controlling how a KISS2 description is turned into a [`Mealy`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Kiss2Options {
     /// If `true` (default `false`), (state, input) pairs that are not covered
     /// by any transition line are completed with a self-loop and an all-zero
     /// output instead of producing [`FsmError::Incomplete`].
     pub complete_with_self_loops: bool,
-}
-
-impl Default for Kiss2Options {
-    fn default() -> Self {
-        Self {
-            complete_with_self_loops: false,
-        }
-    }
 }
 
 /// Parses a KISS2 description into a fully specified [`Mealy`] machine using
@@ -450,8 +442,14 @@ mod tests {
     #[test]
     fn malformed_directives() {
         assert!(matches!(parse(".i x\n", "m"), Err(FsmError::Kiss2 { .. })));
-        assert!(matches!(parse(".o 1\n0 a a 0\n", "m"), Err(FsmError::Kiss2 { .. })));
-        assert!(matches!(parse(".i 1\n.o 1\n", "m"), Err(FsmError::Kiss2 { .. })));
+        assert!(matches!(
+            parse(".o 1\n0 a a 0\n", "m"),
+            Err(FsmError::Kiss2 { .. })
+        ));
+        assert!(matches!(
+            parse(".i 1\n.o 1\n", "m"),
+            Err(FsmError::Kiss2 { .. })
+        ));
         assert!(matches!(
             parse(".i 1\n.o 1\n.s 3\n0 a a 0\n1 a a 0\n", "m"),
             Err(FsmError::Kiss2 { .. })

@@ -622,7 +622,6 @@ mod tests {
 
     #[test]
     fn transitions_trait_matches_method() {
-        use stc_partition::Transitions as _;
         let m = paper_example();
         for s in 0..4 {
             for i in 0..2 {

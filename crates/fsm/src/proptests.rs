@@ -21,25 +21,27 @@ fn arb_kiss_machine() -> impl Strategy<Value = Mealy> {
 }
 
 fn arb_factors() -> impl Strategy<Value = PipelineFactors> {
-    (2usize..4, 2usize..4, 1usize..3, 1usize..3, any::<u64>()).prop_map(
-        |(n1, n2, k, o, seed)| {
-            use rand::{Rng, SeedableRng};
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            PipelineFactors {
-                name: "prop_factors".into(),
-                delta1: (0..n1).map(|_| (0..k).map(|_| rng.gen_range(0..n2)).collect()).collect(),
-                delta2: (0..n2).map(|_| (0..k).map(|_| rng.gen_range(0..n1)).collect()).collect(),
-                lambda: (0..n1)
-                    .map(|_| {
-                        (0..n2)
-                            .map(|_| (0..k).map(|_| rng.gen_range(0..o)).collect())
-                            .collect()
-                    })
-                    .collect(),
-                num_outputs: o,
-            }
-        },
-    )
+    (2usize..4, 2usize..4, 1usize..3, 1usize..3, any::<u64>()).prop_map(|(n1, n2, k, o, seed)| {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        PipelineFactors {
+            name: "prop_factors".into(),
+            delta1: (0..n1)
+                .map(|_| (0..k).map(|_| rng.gen_range(0..n2)).collect())
+                .collect(),
+            delta2: (0..n2)
+                .map(|_| (0..k).map(|_| rng.gen_range(0..n1)).collect())
+                .collect(),
+            lambda: (0..n1)
+                .map(|_| {
+                    (0..n2)
+                        .map(|_| (0..k).map(|_| rng.gen_range(0..o)).collect())
+                        .collect()
+                })
+                .collect(),
+            num_outputs: o,
+        }
+    })
 }
 
 proptest! {

@@ -54,29 +54,26 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_cover(num_vars: usize, max_cubes: usize) -> impl Strategy<Value = Cover> {
-        proptest::collection::vec(
-            proptest::collection::vec(0u8..3, num_vars),
-            0..=max_cubes,
-        )
-        .prop_map(move |cubes| {
-            Cover::from_cubes(
-                num_vars,
-                cubes
-                    .into_iter()
-                    .map(|lits| {
-                        Cube::from_literals(
-                            lits.into_iter()
-                                .map(|l| match l {
-                                    0 => Literal::Zero,
-                                    1 => Literal::One,
-                                    _ => Literal::DontCare,
-                                })
-                                .collect(),
-                        )
-                    })
-                    .collect(),
-            )
-        })
+        proptest::collection::vec(proptest::collection::vec(0u8..3, num_vars), 0..=max_cubes)
+            .prop_map(move |cubes| {
+                Cover::from_cubes(
+                    num_vars,
+                    cubes
+                        .into_iter()
+                        .map(|lits| {
+                            Cube::from_literals(
+                                lits.into_iter()
+                                    .map(|l| match l {
+                                        0 => Literal::Zero,
+                                        1 => Literal::One,
+                                        _ => Literal::DontCare,
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                )
+            })
     }
 
     proptest! {
@@ -111,7 +108,7 @@ mod proptests {
 
         #[test]
         fn netlists_implement_their_covers(cover in arb_cover(5, 6)) {
-            let netlist = Netlist::from_covers(5, &[cover.clone()]);
+            let netlist = Netlist::from_covers(5, std::slice::from_ref(&cover));
             for m in 0u32..32 {
                 let minterm: Vec<bool> = (0..5).rev().map(|b| (m >> b) & 1 == 1).collect();
                 prop_assert_eq!(netlist.evaluate(&minterm)[0], cover.evaluate(&minterm));

@@ -93,6 +93,8 @@ impl Netlist {
             let mut product_nodes = Vec::with_capacity(cover.len());
             for cube in cover.cubes() {
                 let mut inputs_of_and = Vec::new();
+                #[allow(clippy::needless_range_loop)]
+                // `v` indexes both the cube literals and the inverter cache.
                 for v in 0..num_inputs {
                     match cube.literal(v) {
                         Literal::DontCare => {}

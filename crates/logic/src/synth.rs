@@ -57,7 +57,13 @@ impl SynthesizedBlock {
         let do_minimize = options.minimize && total_rows <= options.minimize_row_limit;
         let covers: Vec<Cover> = on_sets
             .into_iter()
-            .map(|c| if do_minimize { c.minimized(dont_care) } else { c })
+            .map(|c| {
+                if do_minimize {
+                    c.minimized(dont_care)
+                } else {
+                    c
+                }
+            })
             .collect();
         let netlist = Netlist::from_covers(num_inputs, &covers);
         Self {
@@ -173,10 +179,7 @@ fn dont_care_from_rows(rows: &[EncodedRow], num_inputs: usize) -> Cover {
     let mut dc = Cover::new(num_inputs);
     for (idx, &u) in used.iter().enumerate() {
         if !u {
-            let bits: Vec<bool> = (0..num_inputs)
-                .rev()
-                .map(|b| (idx >> b) & 1 == 1)
-                .collect();
+            let bits: Vec<bool> = (0..num_inputs).rev().map(|b| (idx >> b) & 1 == 1).collect();
             dc.push(Cube::from_minterm(&bits));
         }
     }
@@ -214,7 +217,11 @@ pub fn synthesize_pipeline(encoded: &EncodedPipeline, options: SynthOptions) -> 
     let c2_dc = dont_care_from_rows(&encoded.c2_rows, c2_inputs);
     let c2 = SynthesizedBlock::from_covers("C2", c2_inputs, c2_on, &c2_dc, options);
 
-    let out_on = on_sets_from_rows(&encoded.output_rows, out_inputs, encoded.output_bits as usize);
+    let out_on = on_sets_from_rows(
+        &encoded.output_rows,
+        out_inputs,
+        encoded.output_bits as usize,
+    );
     let out_dc = dont_care_from_rows(&encoded.output_rows, out_inputs);
     let output = SynthesizedBlock::from_covers("lambda", out_inputs, out_on, &out_dc, options);
 

@@ -34,7 +34,10 @@ pub enum PartitionError {
 impl fmt::Display for PartitionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PartitionError::ElementOutOfRange { element, ground_set } => write!(
+            PartitionError::ElementOutOfRange {
+                element,
+                ground_set,
+            } => write!(
                 f,
                 "element {element} is outside the ground set 0..{ground_set}"
             ),

@@ -64,10 +64,12 @@ mod partition;
 
 pub use dsu::DisjointSets;
 pub use error::PartitionError;
-pub use lattice::{basis_partitions, enumerate_partitions, mm_pairs, MmPair};
+pub use lattice::{
+    basis_partitions, enumerate_partitions, mm_pairs, symmetric_basis, symmetric_pair_closure,
+    MmPair,
+};
 pub use pairs::{
-    big_m_operator, is_partition_pair, is_symmetric_pair, m_operator, pair_identifying,
-    Transitions,
+    big_m_operator, is_partition_pair, is_symmetric_pair, m_operator, pair_identifying, Transitions,
 };
 pub use partition::{BlockId, Partition};
 

@@ -114,7 +114,11 @@ impl Partition {
             block_of[x] = b;
             blocks[b].push(x);
         }
-        Self { n, block_of, blocks }
+        Self {
+            n,
+            block_of,
+            blocks,
+        }
     }
 
     /// Builds the smallest partition in which every listed pair is related,
@@ -233,10 +237,10 @@ impl Partition {
         self.check_size(other)?;
         let mut seen: HashMap<(BlockId, BlockId), usize> = HashMap::new();
         let mut labels = vec![0usize; self.n];
-        for x in 0..self.n {
+        for (x, label) in labels.iter_mut().enumerate() {
             let key = (self.block_of[x], other.block_of[x]);
             let next = seen.len();
-            labels[x] = *seen.entry(key).or_insert(next);
+            *label = *seen.entry(key).or_insert(next);
         }
         Ok(Self::from_labels(&labels))
     }

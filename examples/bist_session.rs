@@ -69,15 +69,20 @@ fn main() {
     // Show the test registers themselves: a BILBO stepping through its modes.
     let mut register = Bilbo::new(4, 0b1011);
     register.set_mode(BilboMode::PatternGeneration);
-    let patterns: Vec<u64> = (0..5).map(|_| {
-        register.clock(&[false; 4]);
-        register.contents_word()
-    }).collect();
+    let patterns: Vec<u64> = (0..5)
+        .map(|_| {
+            register.clock(&[false; 4]);
+            register.contents_word()
+        })
+        .collect();
     println!("\nBILBO in pattern-generation mode produces: {patterns:?}");
     register.set_mode(BilboMode::SignatureAnalysis);
     for p in &patterns {
         let bits: Vec<bool> = (0..4).rev().map(|b| (p >> b) & 1 == 1).collect();
         register.clock(&bits);
     }
-    println!("after absorbing them in signature-analysis mode: {:#06b}", register.contents_word());
+    println!(
+        "after absorbing them in signature-analysis mode: {:#06b}",
+        register.contents_word()
+    );
 }

@@ -101,5 +101,8 @@ fn main() {
         .machine
         .run(realization.alpha_index(machine.reset_state()), &trace);
     assert_eq!(spec_out, real_out);
-    println!("specification and realization agree on a {}-step traffic scenario", trace.len());
+    println!(
+        "specification and realization agree on a {}-step traffic scenario",
+        trace.len()
+    );
 }

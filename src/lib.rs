@@ -13,16 +13,17 @@
 //! with algebraic structure theory: find a symmetric partition pair `(π, τ)`
 //! with `π ∩ τ ⊆ ε` minimising the total register bits.
 //!
-//! This facade crate re-exports the workspace:
+//! This facade crate re-exports the workspace members (module alias, crate
+//! name and source directory):
 //!
-//! | crate | contents |
-//! |-------|----------|
-//! | [`fsm`] | Mealy machines, KISS2, state equivalence, benchmark suite |
-//! | [`partition`] | partition algebra, partition pairs, Mm-lattice |
-//! | [`synth`] | the OSTR solver and the Theorem 1 realization |
-//! | [`encoding`] | state assignment and bit-level machine views |
-//! | [`logic`] | two-level minimisation, netlists, area/delay estimation |
-//! | [`bist`] | LFSR/MISR/BILBO, fault simulation, architecture comparison |
+//! | module | crate | directory | contents |
+//! |--------|-------|-----------|----------|
+//! | [`fsm`] | `stc-fsm` | `crates/fsm` | Mealy machines, KISS2, state equivalence, benchmark suite |
+//! | [`partition`] | `stc-partition` | `crates/partition` | partition algebra, partition pairs, symmetric-pair basis, Mm-lattice |
+//! | [`synth`] | `stc-synth` | `crates/core` | the OSTR solver and the Theorem 1 realization |
+//! | [`encoding`] | `stc-encoding` | `crates/encoding` | state assignment and bit-level machine views |
+//! | [`logic`] | `stc-logic` | `crates/logic` | two-level minimisation, netlists, area/delay estimation |
+//! | [`bist`] | `stc-bist` | `crates/bist` | LFSR/MISR/BILBO, fault simulation, architecture comparison |
 //!
 //! # Quickstart
 //!

@@ -43,7 +43,9 @@ fn kiss2_to_self_testable_controller() {
     let words: Vec<Vec<usize>> = (0..50u64)
         .map(|seed| {
             (0..32)
-                .map(|i| ((seed.wrapping_mul(6364136223846793005).wrapping_add(i * 17)) % 4) as usize)
+                .map(|i| {
+                    ((seed.wrapping_mul(6364136223846793005).wrapping_add(i * 17)) % 4) as usize
+                })
                 .collect()
         })
         .collect();

@@ -2,8 +2,8 @@
 //! survive the full synthesis pipeline with behaviour preserved.
 
 use proptest::prelude::*;
-use stc::prelude::*;
 use stc::fsm::{crossed_product, random_machine};
+use stc::prelude::*;
 
 fn arb_machine() -> impl Strategy<Value = Mealy> {
     (2usize..8, 1usize..5, 1usize..4, any::<u64>())

@@ -1,0 +1,319 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API used by the workspace's bench
+//! targets — [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], [`BenchmarkId`]
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — backed by a
+//! simple wall-clock measurement loop instead of criterion's statistical
+//! machinery.
+//!
+//! Behaviour under the two cargo entry points:
+//!
+//! * `cargo bench` — each benchmark is warmed up once, then timed for up to
+//!   [`MAX_SAMPLES`] iterations or [`TIME_BUDGET`], whichever comes first.
+//!   A summary table is printed and a machine-readable baseline is written
+//!   to `BENCH_<bench-name>.json` in the current directory.
+//! * `cargo test` (which runs `harness = false` bench targets with the
+//!   `--test` flag) — every benchmark closure is executed exactly once so
+//!   the workload itself is smoke-tested, and no baseline file is written.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Hard cap on timed iterations per benchmark.
+pub const MAX_SAMPLES: u32 = 20;
+
+/// Wall-clock budget per benchmark.
+pub const TIME_BUDGET: Duration = Duration::from_millis(200);
+
+/// One measured benchmark result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Fully qualified benchmark name (`group/function/parameter`).
+    pub name: String,
+    /// Timed iterations.
+    pub iterations: u32,
+    /// Mean wall-clock time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+}
+
+/// The benchmark manager handed to `criterion_group!` targets.
+pub struct Criterion {
+    test_mode: bool,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    fn run_one(&mut self, name: String, mut routine: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        if bencher.iterations > 0 {
+            let mean_ns = bencher.elapsed.as_nanos() as f64 / f64::from(bencher.iterations);
+            if !self.test_mode {
+                eprintln!(
+                    "bench {name:<50} {:>12.0} ns/iter ({} iters)",
+                    mean_ns, bencher.iterations
+                );
+            }
+            self.results.push(Measurement {
+                name,
+                iterations: bencher.iterations,
+                mean_ns,
+            });
+        }
+    }
+
+    /// Benchmarks a single routine.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name.to_string(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Writes the collected measurements as a JSON baseline file named
+    /// `BENCH_<stem>.json` in the current directory.  No-op in test mode.
+    pub fn write_baseline(&self, stem: &str) {
+        if self.test_mode || self.results.is_empty() {
+            return;
+        }
+        let mut json = String::from("{\n  \"benchmarks\": [\n");
+        for (i, m) in self.results.iter().enumerate() {
+            let sep = if i + 1 == self.results.len() { "" } else { "," };
+            json.push_str(&format!(
+                "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iterations\": {}}}{sep}\n",
+                m.name.replace('"', "'"),
+                m.mean_ns,
+                m.iterations
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        let path = format!("BENCH_{stem}.json");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            eprintln!("baseline written to {path}");
+        }
+    }
+}
+
+/// A group of related benchmarks (criterion's `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in ignores the sample count
+    /// and uses its own iteration/time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a routine against one input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.0);
+        self.criterion.run_one(name, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a routine with no explicit input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        self.criterion.run_one(name, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendered after a `/`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{parameter}", function_name.into()))
+    }
+
+    /// An id consisting of the parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversion into [`BenchmarkId`] for `bench_function`-style calls.
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+/// The per-benchmark timing driver handed to routines.
+pub struct Bencher {
+    test_mode: bool,
+    iterations: u32,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the measurement in the bencher.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.iterations = 1;
+            self.elapsed = Duration::from_nanos(1);
+            return;
+        }
+        black_box(routine()); // warm-up, untimed
+        let budget_start = Instant::now();
+        let mut iterations = 0u32;
+        let mut elapsed = Duration::ZERO;
+        while iterations < MAX_SAMPLES && budget_start.elapsed() < TIME_BUDGET {
+            let start = Instant::now();
+            black_box(routine());
+            elapsed += start.elapsed();
+            iterations += 1;
+        }
+        self.iterations = iterations;
+        self.elapsed = elapsed;
+    }
+}
+
+/// Opaque value barrier preventing the optimiser from deleting the workload.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a group of benchmark functions (simple-form criterion macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            let stem = std::env::args()
+                .next()
+                .and_then(|argv0| {
+                    std::path::Path::new(&argv0)
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().into_owned())
+                })
+                .map(|stem| match stem.rsplit_once('-') {
+                    // Strip cargo's `-<hash>` suffix from the executable name.
+                    Some((base, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+                        base.to_string()
+                    }
+                    _ => stem,
+                })
+                .unwrap_or_else(|| "bench".to_string());
+            criterion.write_baseline(&stem);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("sum_1k", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(10);
+        for n in [10u64, 100] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| (0..n).product::<u64>());
+            });
+        }
+        group.finish();
+    }
+
+    #[test]
+    fn measures_and_names_benchmarks() {
+        let mut c = Criterion {
+            test_mode: false,
+            results: Vec::new(),
+        };
+        sample_bench(&mut c);
+        let names: Vec<&str> = c.results.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["sum_1k", "grouped/10", "grouped/100"]);
+        assert!(c
+            .results
+            .iter()
+            .all(|m| m.iterations >= 1 && m.mean_ns >= 0.0));
+    }
+
+    #[test]
+    fn test_mode_runs_each_routine_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            results: Vec::new(),
+        };
+        let mut runs = 0u32;
+        c.bench_function("count", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn benchmark_ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("lattice", "tav").0, "lattice/tav");
+        assert_eq!(BenchmarkId::from_parameter(42).0, "42");
+    }
+}

@@ -1,0 +1,29 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates many types with `#[derive(Serialize, Deserialize)]`
+//! but never actually serializes anything through serde (the experiment
+//! binaries hand-format their text and JSON output).  This vendored crate
+//! therefore provides the traits as *markers* with blanket implementations,
+//! and re-exports no-op derives, so the annotations compile unchanged in an
+//! environment without crates.io access.  Swapping the real `serde` back in
+//! later requires only a `Cargo.toml` change.
+
+#![forbid(unsafe_code)]
+
+/// Marker counterpart of `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker counterpart of `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker counterpart of `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

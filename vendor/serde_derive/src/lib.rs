@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` crate provides blanket implementations of its marker
+//! `Serialize`/`Deserialize` traits, so the derives here only need to exist —
+//! they expand to nothing.  This keeps `#[derive(Serialize, Deserialize)]`
+//! annotations across the workspace compiling without crates.io access.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: the trait is satisfied by a blanket impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: the trait is satisfied by a blanket impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
