@@ -35,6 +35,9 @@ mod fault;
 mod lfsr;
 mod misr;
 mod session;
+mod stage;
+
+pub use stage::BistStage;
 
 pub use architecture::{
     evaluate_architectures, Architecture, ArchitectureOptions, ArchitectureReport,

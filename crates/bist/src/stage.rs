@@ -1,0 +1,79 @@
+//! The self-test stage: the `stc-bist` entry point of the batch pipeline.
+//!
+//! See `stc_synth::SolveStage` for the stage convention shared by all the
+//! flow crates; `stc-pipeline` composes the stages into a corpus-level
+//! pipeline.
+
+use crate::session::{pipeline_self_test, SelfTestResult};
+use stc_logic::PipelineLogic;
+
+/// The BIST stage: synthesised pipeline → two-session self-test plan and
+/// signature-based fault-coverage estimate.
+///
+/// # Example
+///
+/// ```
+/// use stc_bist::BistStage;
+/// use stc_encoding::EncodeStage;
+/// use stc_fsm::paper_example;
+/// use stc_logic::LogicStage;
+/// use stc_synth::SolveStage;
+///
+/// let machine = paper_example();
+/// let solved = SolveStage::default().apply(&machine);
+/// let encoded = EncodeStage::default().apply(&machine, &solved.realization);
+/// let logic = LogicStage::default().apply(&encoded);
+/// let result = BistStage::new(128).apply(&logic);
+/// assert!(result.overall_coverage() > 0.9);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BistStage {
+    /// Number of test patterns applied per self-test session.
+    pub patterns_per_session: usize,
+}
+
+impl Default for BistStage {
+    fn default() -> Self {
+        Self {
+            patterns_per_session: 256,
+        }
+    }
+}
+
+impl BistStage {
+    /// The stage's name in pipeline reports and logs.
+    pub const NAME: &'static str = "bist";
+
+    /// Creates the stage with the given per-session pattern budget.
+    #[must_use]
+    pub fn new(patterns_per_session: usize) -> Self {
+        Self {
+            patterns_per_session,
+        }
+    }
+
+    /// Runs the two-session self-test of a synthesised pipeline controller.
+    #[must_use]
+    pub fn apply(&self, pipeline: &PipelineLogic) -> SelfTestResult {
+        pipeline_self_test(pipeline, self.patterns_per_session)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stc_encoding::EncodeStage;
+    use stc_fsm::paper_example;
+    use stc_logic::LogicStage;
+    use stc_synth::SolveStage;
+
+    #[test]
+    fn bist_stage_matches_the_direct_self_test_call() {
+        let machine = paper_example();
+        let solved = SolveStage::default().apply(&machine);
+        let encoded = EncodeStage::default().apply(&machine, &solved.realization);
+        let logic = LogicStage::default().apply(&encoded);
+        let stage = BistStage::new(64);
+        assert_eq!(stage.apply(&logic), pipeline_self_test(&logic, 64));
+    }
+}

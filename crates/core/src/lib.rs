@@ -41,12 +41,14 @@ mod error;
 mod naive;
 mod realization;
 mod solver;
+mod stage;
 
 pub use cost::Cost;
 pub use error::SynthError;
 pub use naive::{solve_naive, NaiveStats, NAIVE_STATE_LIMIT};
 pub use realization::{FactorTables, Realization, RealizationViolation};
 pub use solver::{solve, OstrOutcome, OstrSolution, OstrSolver, SearchStats, SolverConfig};
+pub use stage::{SolveStage, Solved};
 
 #[cfg(test)]
 mod proptests;

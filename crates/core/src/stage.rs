@@ -1,0 +1,90 @@
+//! The OSTR solve stage: the `stc-synth` entry point of the batch pipeline.
+//!
+//! Every crate of the workspace that contributes one step of the full
+//! synthesis flow (solve → encode → logic synthesis → BIST) exposes that step
+//! as a small *stage* struct with a uniform shape: the stage carries its
+//! configuration and a single `apply` method mapping the previous stage's
+//! output to this stage's output.  The `stc-pipeline` crate composes the
+//! stages into a corpus-level pipeline (see `DESIGN.md` §3 at the repository
+//! root); examples and tests use them directly instead of duplicating the
+//! solve-then-realize boilerplate.
+
+use crate::realization::Realization;
+use crate::solver::{OstrOutcome, OstrSolver, SolverConfig};
+use stc_fsm::Mealy;
+
+/// Output of [`SolveStage`]: the search outcome together with the Theorem 1
+/// realization of the best solution found.
+#[derive(Debug, Clone)]
+pub struct Solved {
+    /// The OSTR search outcome (best solution plus statistics).
+    pub outcome: OstrOutcome,
+    /// The pipeline realization of `outcome.best`.
+    pub realization: Realization,
+}
+
+impl Solved {
+    /// Convenience: `⌈log2|S1|⌉ + ⌈log2|S2|⌉` of the best solution.
+    #[must_use]
+    pub fn pipeline_flipflops(&self) -> u32 {
+        self.outcome.pipeline_flipflops()
+    }
+}
+
+/// The OSTR solve stage: machine → best symmetric partition pair → Theorem 1
+/// realization.
+///
+/// # Example
+///
+/// ```
+/// use stc_fsm::paper_example;
+/// use stc_synth::{SolveStage, SolverConfig};
+///
+/// let stage = SolveStage::new(SolverConfig::default());
+/// let solved = stage.apply(&paper_example());
+/// assert_eq!(solved.pipeline_flipflops(), 2);
+/// assert!(solved.realization.verify(&paper_example()).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveStage {
+    /// Configuration of the depth-first OSTR search.
+    pub config: SolverConfig,
+}
+
+impl SolveStage {
+    /// The stage's name in pipeline reports and logs.
+    pub const NAME: &'static str = "solve";
+
+    /// Creates the stage with the given solver configuration.
+    #[must_use]
+    pub fn new(config: SolverConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs the OSTR search on `machine` and realizes the best solution.
+    #[must_use]
+    pub fn apply(&self, machine: &Mealy) -> Solved {
+        let outcome = OstrSolver::new(self.config).solve(machine);
+        let realization = outcome.best.realize(machine);
+        Solved {
+            outcome,
+            realization,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stc_fsm::paper_example;
+
+    #[test]
+    fn solve_stage_matches_the_direct_solver_call() {
+        let machine = paper_example();
+        let solved = SolveStage::default().apply(&machine);
+        let direct = crate::solve(&machine);
+        assert_eq!(solved.outcome.best, direct.best);
+        assert_eq!(solved.realization.cost(), direct.best.cost);
+        assert!(solved.realization.verify(&machine).is_none());
+    }
+}

@@ -28,10 +28,11 @@ pub struct Encoding {
 }
 
 /// The available code-assignment strategies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum EncodingStrategy {
     /// Item `i` gets code `i` in `⌈log2 n⌉` bits.
+    #[default]
     Binary,
     /// Item `i` gets the `i`-th Gray code in `⌈log2 n⌉` bits (adjacent items
     /// differ in one bit).

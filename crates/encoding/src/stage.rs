@@ -1,0 +1,77 @@
+//! The state-assignment stage: the `stc-encoding` entry point of the batch
+//! pipeline.
+//!
+//! See `stc_synth::SolveStage` for the stage convention shared by all the
+//! flow crates; `stc-pipeline` composes the stages into a corpus-level
+//! pipeline.
+
+use crate::code::EncodingStrategy;
+use crate::encoded::{EncodedMachine, EncodedPipeline};
+use stc_fsm::Mealy;
+use stc_synth::Realization;
+
+/// The state-assignment stage: realization → bit-level pipeline view.
+///
+/// # Example
+///
+/// ```
+/// use stc_encoding::{EncodeStage, EncodingStrategy};
+/// use stc_fsm::paper_example;
+/// use stc_synth::SolveStage;
+///
+/// let machine = paper_example();
+/// let solved = SolveStage::default().apply(&machine);
+/// let encoded = EncodeStage::new(EncodingStrategy::Binary).apply(&machine, &solved.realization);
+/// assert_eq!(encoded.register_bits(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EncodeStage {
+    /// State-assignment strategy for register contents.
+    pub strategy: EncodingStrategy,
+}
+
+impl EncodeStage {
+    /// The stage's name in pipeline reports and logs.
+    pub const NAME: &'static str = "encode";
+
+    /// Creates the stage with the given encoding strategy.
+    #[must_use]
+    pub fn new(strategy: EncodingStrategy) -> Self {
+        Self { strategy }
+    }
+
+    /// Encodes a pipeline realization into its bit-level view (Fig. 4).
+    #[must_use]
+    pub fn apply(&self, machine: &Mealy, realization: &Realization) -> EncodedPipeline {
+        EncodedPipeline::new(machine, realization, self.strategy)
+    }
+
+    /// Encodes a monolithic controller (Fig. 1), used by the architecture
+    /// comparison baseline.
+    #[must_use]
+    pub fn apply_monolithic(&self, machine: &Mealy) -> EncodedMachine {
+        EncodedMachine::new(machine, self.strategy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stc_fsm::paper_example;
+    use stc_synth::SolveStage;
+
+    #[test]
+    fn encode_stage_matches_the_direct_constructors() {
+        let machine = paper_example();
+        let solved = SolveStage::default().apply(&machine);
+        let stage = EncodeStage::new(EncodingStrategy::Binary);
+        assert_eq!(
+            stage.apply(&machine, &solved.realization),
+            EncodedPipeline::new(&machine, &solved.realization, EncodingStrategy::Binary)
+        );
+        assert_eq!(
+            stage.apply_monolithic(&machine),
+            EncodedMachine::new(&machine, EncodingStrategy::Binary)
+        );
+    }
+}

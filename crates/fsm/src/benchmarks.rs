@@ -3,7 +3,7 @@
 //! The paper evaluates the OSTR synthesis procedure on 13 fully specified FSM
 //! benchmarks from the IWLS'93 distribution.  That distribution is not shipped
 //! with this repository, so the suite is reconstructed as follows (see
-//! `DESIGN.md` §2 for the full rationale):
+//! `DESIGN.md` §2 at the repository root for the full rationale):
 //!
 //! * **Functional reconstructions** — machines whose behaviour is defined by
 //!   their name: `shiftreg` (3-bit serial shift register) and `tav`

@@ -1,0 +1,83 @@
+//! The logic-synthesis stage: the `stc-logic` entry point of the batch
+//! pipeline.
+//!
+//! See `stc_synth::SolveStage` for the stage convention shared by all the
+//! flow crates; `stc-pipeline` composes the stages into a corpus-level
+//! pipeline.
+
+use crate::synth::{
+    synthesize_controller, synthesize_pipeline, ControllerLogic, PipelineLogic, SynthOptions,
+};
+use stc_encoding::{EncodedMachine, EncodedPipeline};
+
+/// The logic-synthesis stage: encoded pipeline → minimised covers and
+/// gate-level netlists for `C1`, `C2` and the output logic.
+///
+/// # Example
+///
+/// ```
+/// use stc_encoding::EncodeStage;
+/// use stc_fsm::paper_example;
+/// use stc_logic::{LogicStage, SynthOptions};
+/// use stc_synth::SolveStage;
+///
+/// let machine = paper_example();
+/// let solved = SolveStage::default().apply(&machine);
+/// let encoded = EncodeStage::default().apply(&machine, &solved.realization);
+/// let logic = LogicStage::new(SynthOptions::default()).apply(&encoded);
+/// assert_eq!(logic.flipflops(), encoded.register_bits());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LogicStage {
+    /// Two-level minimisation options.
+    pub options: SynthOptions,
+}
+
+impl LogicStage {
+    /// The stage's name in pipeline reports and logs.
+    pub const NAME: &'static str = "logic";
+
+    /// Creates the stage with the given synthesis options.
+    #[must_use]
+    pub fn new(options: SynthOptions) -> Self {
+        Self { options }
+    }
+
+    /// Synthesises the pipeline controller structure (Fig. 4).
+    #[must_use]
+    pub fn apply(&self, encoded: &EncodedPipeline) -> PipelineLogic {
+        synthesize_pipeline(encoded, self.options)
+    }
+
+    /// Synthesises a monolithic controller (Fig. 1), used by the architecture
+    /// comparison baseline.
+    #[must_use]
+    pub fn apply_monolithic(&self, encoded: &EncodedMachine) -> ControllerLogic {
+        synthesize_controller(encoded, self.options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stc_encoding::EncodeStage;
+    use stc_fsm::paper_example;
+    use stc_synth::SolveStage;
+
+    #[test]
+    fn logic_stage_matches_the_direct_synthesis_calls() {
+        let machine = paper_example();
+        let solved = SolveStage::default().apply(&machine);
+        let encoded = EncodeStage::default().apply(&machine, &solved.realization);
+        let stage = LogicStage::default();
+        assert_eq!(
+            stage.apply(&encoded),
+            synthesize_pipeline(&encoded, SynthOptions::default())
+        );
+        let mono = EncodeStage::default().apply_monolithic(&machine);
+        assert_eq!(
+            stage.apply_monolithic(&mono),
+            synthesize_controller(&mono, SynthOptions::default())
+        );
+    }
+}

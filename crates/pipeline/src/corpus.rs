@@ -1,0 +1,173 @@
+//! Corpus loading: the embedded benchmark suite and external KISS2
+//! directories.
+
+use crate::error::PipelineError;
+use stc_fsm::benchmarks::{self, PaperTable1Row, PaperTable2Row};
+use stc_fsm::{kiss2, Mealy};
+use std::path::Path;
+
+/// One machine of a corpus, with the paper's reference rows when the machine
+/// is one of the 13 Table 1 benchmarks.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// The machine itself.
+    pub machine: Mealy,
+    /// The paper's Table 1 row, if any.
+    pub table1: Option<PaperTable1Row>,
+    /// The paper's Table 2 row, if any.
+    pub table2: Option<PaperTable2Row>,
+}
+
+impl CorpusEntry {
+    /// A corpus entry with no paper reference data.
+    #[must_use]
+    pub fn external(machine: Mealy) -> Self {
+        Self {
+            machine,
+            table1: None,
+            table2: None,
+        }
+    }
+
+    /// The machine's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        self.machine.name()
+    }
+}
+
+/// The embedded benchmark suite (the paper's 13 IWLS'93 machines) as a
+/// corpus, in Table 1 order.
+#[must_use]
+pub fn embedded_corpus() -> Vec<CorpusEntry> {
+    benchmarks::suite()
+        .into_iter()
+        .map(|b| CorpusEntry {
+            machine: b.machine,
+            table1: b.table1,
+            table2: b.table2,
+        })
+        .collect()
+}
+
+/// Loads every `*.kiss2` / `*.kiss` file of a directory as a corpus, sorted
+/// by file name so the corpus order (and hence the report) is deterministic.
+///
+/// Machines are named after the file stem.  Paper reference columns are
+/// attached when the stem matches one of the embedded benchmark names.
+pub fn kiss2_corpus(dir: &Path) -> Result<Vec<CorpusEntry>, PipelineError> {
+    let read_dir = std::fs::read_dir(dir).map_err(|source| PipelineError::Io {
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    let mut files = Vec::new();
+    for entry in read_dir {
+        let entry = entry.map_err(|source| PipelineError::Io {
+            path: dir.to_path_buf(),
+            source,
+        })?;
+        let path = entry.path();
+        let is_kiss = path
+            .extension()
+            .and_then(|e| e.to_str())
+            .is_some_and(|e| e.eq_ignore_ascii_case("kiss2") || e.eq_ignore_ascii_case("kiss"));
+        if is_kiss {
+            files.push(path);
+        }
+    }
+    files.sort();
+    if files.is_empty() {
+        return Err(PipelineError::EmptyCorpus(format!(
+            "no .kiss2/.kiss files in {}",
+            dir.display()
+        )));
+    }
+
+    let table1 = benchmarks::paper_table1();
+    let table2 = benchmarks::paper_table2();
+    let mut corpus = Vec::with_capacity(files.len());
+    for path in files {
+        let text = std::fs::read_to_string(&path).map_err(|source| PipelineError::Io {
+            path: path.clone(),
+            source,
+        })?;
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("machine")
+            .to_string();
+        let machine = kiss2::parse(&text, &name).map_err(|source| PipelineError::Kiss2 {
+            path: path.clone(),
+            source,
+        })?;
+        corpus.push(CorpusEntry {
+            machine,
+            table1: table1.iter().copied().find(|r| r.name == name),
+            table2: table2.iter().copied().find(|r| r.name == name),
+        });
+    }
+    Ok(corpus)
+}
+
+/// Restricts a corpus to the given machine names (order preserved from the
+/// corpus, not from `names`).  Unknown names are reported as an error so CI
+/// filters fail loudly instead of silently running nothing.
+pub fn filter_by_names(
+    corpus: Vec<CorpusEntry>,
+    names: &[String],
+) -> Result<Vec<CorpusEntry>, PipelineError> {
+    for name in names {
+        if !corpus.iter().any(|e| e.name() == name) {
+            return Err(PipelineError::EmptyCorpus(format!(
+                "no machine named '{name}' in the corpus"
+            )));
+        }
+    }
+    Ok(corpus
+        .into_iter()
+        .filter(|e| names.iter().any(|n| n == e.name()))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedded_corpus_is_the_thirteen_benchmarks() {
+        let corpus = embedded_corpus();
+        assert_eq!(corpus.len(), 13);
+        assert!(corpus.iter().all(|e| e.table1.is_some()));
+        assert_eq!(corpus[0].name(), "bbara");
+        assert_eq!(corpus[12].name(), "tbk");
+    }
+
+    #[test]
+    fn filter_keeps_corpus_order_and_rejects_unknown_names() {
+        let corpus = embedded_corpus();
+        let filtered =
+            filter_by_names(corpus.clone(), &["tav".to_string(), "dk15".to_string()]).unwrap();
+        let names: Vec<&str> = filtered.iter().map(CorpusEntry::name).collect();
+        assert_eq!(names, ["dk15", "tav"]);
+        assert!(filter_by_names(corpus, &["nope".to_string()]).is_err());
+    }
+
+    #[test]
+    fn kiss2_corpus_reads_a_directory() {
+        let dir = std::env::temp_dir().join(format!("stc-corpus-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("shiftreg.kiss2"),
+            stc_fsm::benchmarks::SHIFTREG_KISS2,
+        )
+        .unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let corpus = kiss2_corpus(&dir).unwrap();
+        assert_eq!(corpus.len(), 1);
+        assert_eq!(corpus[0].name(), "shiftreg");
+        // The stem matches an embedded benchmark, so paper columns attach.
+        assert!(corpus[0].table1.is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(kiss2_corpus(Path::new("/nonexistent-dir")).is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type of the pipeline crate.
+
+use std::path::PathBuf;
+
+/// Errors surfaced by corpus loading and report/baseline parsing.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// An I/O error while reading a corpus directory or baseline file.
+    Io {
+        /// The path being read.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A KISS2 file failed to parse.
+    Kiss2 {
+        /// The offending file.
+        path: PathBuf,
+        /// The parser's error.
+        source: stc_fsm::FsmError,
+    },
+    /// A JSON document failed to parse or had an unexpected shape.
+    Json {
+        /// The offending file (or a description of the input).
+        path: PathBuf,
+        /// What went wrong.
+        message: String,
+    },
+    /// The corpus resolved to zero machines.
+    EmptyCorpus(String),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            PipelineError::Kiss2 { path, source } => {
+                write!(f, "{}: KISS2 parse error: {source}", path.display())
+            }
+            PipelineError::Json { path, message } => {
+                write!(f, "{}: {message}", path.display())
+            }
+            PipelineError::EmptyCorpus(what) => write!(f, "empty corpus: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Io { source, .. } => Some(source),
+            PipelineError::Kiss2 { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

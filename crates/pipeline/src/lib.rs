@@ -1,0 +1,182 @@
+//! Corpus-level batch-synthesis pipeline for the `stc` workspace.
+//!
+//! The paper's evaluation is batch-shaped: Tables 1–2 run the OSTR
+//! decomposition, state encoding and BIST flow over 13 IWLS'93 machines and
+//! compare costs.  This crate drives that full flow over an entire corpus —
+//! KISS2 files or the embedded benchmark suite — in parallel on a scoped
+//! `std::thread` worker pool, and emits a deterministic, machine-readable
+//! JSON report with paper-vs-measured columns (see `DESIGN.md` §3 at the
+//! repository root).
+//!
+//! * [`Stage`] — the composition trait over the per-crate stage entry points
+//!   ([`stc_synth::SolveStage`], [`stc_encoding::EncodeStage`],
+//!   [`stc_logic::LogicStage`], [`stc_bist::BistStage`]);
+//! * [`embedded_corpus`] / [`kiss2_corpus`] — corpus loading;
+//! * [`run_corpus`] / [`run_machine`] — the parallel runner with a serial
+//!   fallback whose report is byte-identical to any parallel run;
+//! * [`SuiteReport`] — the deterministic report and its JSON serialisation;
+//! * [`compare_benchmarks`] — the perf-baseline comparison behind the
+//!   `stc bench-check` CI gate;
+//! * [`Json`] — the minimal JSON value type used for emission and parsing
+//!   (the vendored `serde` is a no-op marker crate).
+//!
+//! # Example
+//!
+//! ```
+//! use stc_pipeline::{embedded_corpus, filter_by_names, run_corpus, PipelineConfig};
+//!
+//! let corpus = filter_by_names(embedded_corpus(), &["tav".to_string()]).unwrap();
+//! let serial = run_corpus(&corpus, &PipelineConfig::default(), 1, "demo");
+//! let parallel = run_corpus(&corpus, &PipelineConfig::default(), 4, "demo");
+//! assert_eq!(
+//!     serial.report.to_json_string(),
+//!     parallel.report.to_json_string()
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bench_compare;
+mod corpus;
+mod error;
+mod json;
+mod report;
+mod runner;
+
+pub use bench_compare::{
+    compare_benchmarks, load_baseline_dir, parse_baseline, BenchCheck, BenchDelta, BenchMeasurement,
+};
+pub use corpus::{embedded_corpus, filter_by_names, kiss2_corpus, CorpusEntry};
+pub use error::PipelineError;
+pub use json::{Json, JsonError};
+pub use report::{
+    format_summary_table, BistReport, ConfigEcho, LogicReport, MachineReport, MachineStatus,
+    SessionReport, SolveReport, SuiteReport, SuiteSummary, REPORT_SCHEMA_VERSION,
+};
+pub use runner::{
+    run_corpus, run_machine, GateLevelLimits, MachineTiming, PipelineConfig, SuiteRun,
+};
+
+use stc_bist::{BistStage, SelfTestResult};
+use stc_encoding::{EncodeStage, EncodedPipeline};
+use stc_fsm::Mealy;
+use stc_logic::{LogicStage, PipelineLogic};
+use stc_synth::{Realization, SolveStage, Solved};
+
+/// A pipeline stage: a configured transformation from one flow artefact to
+/// the next.
+///
+/// The concrete stages live in their home crates (the solver stage in
+/// `stc-synth`, the encoder in `stc-encoding`, and so on) as plain structs
+/// with an `apply` method, so each crate stays independently usable; this
+/// trait unifies them for generic composition.  The input is a type
+/// parameter rather than an associated type so a stage can consume borrowed
+/// inputs of any lifetime.
+pub trait Stage<In> {
+    /// The stage's output artefact.
+    type Out;
+
+    /// The stage's name in reports and logs.
+    fn name(&self) -> &'static str;
+
+    /// Applies the stage.
+    fn run(&self, input: In) -> Self::Out;
+}
+
+impl<'a> Stage<&'a Mealy> for SolveStage {
+    type Out = Solved;
+
+    fn name(&self) -> &'static str {
+        SolveStage::NAME
+    }
+
+    fn run(&self, machine: &'a Mealy) -> Solved {
+        self.apply(machine)
+    }
+}
+
+impl<'a> Stage<(&'a Mealy, &'a Realization)> for EncodeStage {
+    type Out = EncodedPipeline;
+
+    fn name(&self) -> &'static str {
+        EncodeStage::NAME
+    }
+
+    fn run(&self, (machine, realization): (&'a Mealy, &'a Realization)) -> EncodedPipeline {
+        self.apply(machine, realization)
+    }
+}
+
+impl<'a> Stage<&'a EncodedPipeline> for LogicStage {
+    type Out = PipelineLogic;
+
+    fn name(&self) -> &'static str {
+        LogicStage::NAME
+    }
+
+    fn run(&self, encoded: &'a EncodedPipeline) -> PipelineLogic {
+        self.apply(encoded)
+    }
+}
+
+impl<'a> Stage<&'a PipelineLogic> for BistStage {
+    type Out = SelfTestResult;
+
+    fn name(&self) -> &'static str {
+        BistStage::NAME
+    }
+
+    fn run(&self, pipeline: &'a PipelineLogic) -> SelfTestResult {
+        self.apply(pipeline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stc_fsm::paper_example;
+
+    /// Generic driver proving the stages compose through the [`Stage`] trait.
+    fn drive<S1, S2, S3, S4>(machine: &Mealy, s1: &S1, s2: &S2, s3: &S3, s4: &S4) -> SelfTestResult
+    where
+        S1: for<'a> Stage<&'a Mealy, Out = Solved>,
+        S2: for<'a> Stage<(&'a Mealy, &'a Realization), Out = EncodedPipeline>,
+        S3: for<'a> Stage<&'a EncodedPipeline, Out = PipelineLogic>,
+        S4: for<'a> Stage<&'a PipelineLogic, Out = SelfTestResult>,
+    {
+        let solved = s1.run(machine);
+        let encoded = s2.run((machine, &solved.realization));
+        let logic = s3.run(&encoded);
+        s4.run(&logic)
+    }
+
+    #[test]
+    fn stages_compose_generically() {
+        let machine = paper_example();
+        let result = drive(
+            &machine,
+            &SolveStage::default(),
+            &EncodeStage::default(),
+            &LogicStage::default(),
+            &BistStage::new(64),
+        );
+        assert_eq!(result.session1.patterns, 64);
+        assert!(result.overall_coverage() > 0.5);
+    }
+
+    #[test]
+    fn stage_names_are_distinct() {
+        let names = [
+            Stage::<&Mealy>::name(&SolveStage::default()),
+            Stage::<(&Mealy, &Realization)>::name(&EncodeStage::default()),
+            Stage::<&EncodedPipeline>::name(&LogicStage::default()),
+            Stage::<&PipelineLogic>::name(&BistStage::default()),
+        ];
+        for (i, a) in names.iter().enumerate() {
+            for b in &names[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

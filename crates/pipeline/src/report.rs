@@ -1,0 +1,458 @@
+//! Machine-readable pipeline reports.
+//!
+//! A [`SuiteReport`] is a pure function of the corpus and the
+//! [`crate::PipelineConfig`]: it contains no wall-clock measurements, no
+//! host-dependent values and no hash-ordered collections, so serial and
+//! parallel runs of the same corpus serialise to byte-identical JSON and CI
+//! can diff the output against a committed golden file.  Wall-clock timings
+//! are reported separately (see [`crate::SuiteRun`]).
+
+use crate::json::Json;
+use stc_fsm::benchmarks::{PaperTable1Row, PaperTable2Row};
+
+/// Version of the report schema, bumped on any breaking change to the JSON
+/// layout (documented in the README).
+pub const REPORT_SCHEMA_VERSION: u64 = 1;
+
+/// How far a machine travelled through the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineStatus {
+    /// All stages ran: solve, encode, logic synthesis and BIST.
+    Full,
+    /// Only the FSM-level stage ran; the machine exceeds the configured
+    /// gate-level limits (states/inputs), matching the paper's evaluation
+    /// which reports gate-level numbers only for tractable machines.
+    SolveOnly,
+    /// The per-machine wall-clock timeout expired between stages; the report
+    /// carries the sections completed before the deadline.
+    TimedOut,
+    /// A stage failed (e.g. the realization did not verify).
+    Error(String),
+}
+
+impl MachineStatus {
+    /// The status as the string used in the JSON report.
+    #[must_use]
+    pub fn as_json_str(&self) -> &str {
+        match self {
+            MachineStatus::Full => "full",
+            MachineStatus::SolveOnly => "solve-only",
+            MachineStatus::TimedOut => "timeout",
+            MachineStatus::Error(_) => "error",
+        }
+    }
+}
+
+/// Results of the OSTR solve stage for one machine (Tables 1 and 2 columns).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolveReport {
+    /// Measured best first-factor size `|S1|`.
+    pub s1: usize,
+    /// Measured best second-factor size `|S2|`.
+    pub s2: usize,
+    /// Flip-flops for a conventional BIST: `2 · ⌈log2 |S|⌉`.
+    pub conventional_bist_ff: u32,
+    /// Flip-flops for the pipeline structure: `⌈log2 |S1|⌉ + ⌈log2 |S2|⌉`.
+    pub pipeline_ff: u32,
+    /// `true` if the solution is non-trivial (`|S1| < |S|` or `|S2| < |S|`).
+    pub nontrivial: bool,
+    /// Size of the symmetric-pair basis `|𝔐|` (`log2` of the search-tree
+    /// size).
+    pub basis_size: usize,
+    /// Nodes investigated by the depth-first search.
+    pub nodes_investigated: u64,
+    /// Subtrees discarded by the Lemma 1 pruning.
+    pub subtrees_pruned: u64,
+    /// Whether the deterministic node budget was exhausted.
+    pub budget_exhausted: bool,
+    /// Whether the Theorem 1 realization of the best solution verified
+    /// against the specification (Definition 3).
+    pub realization_verified: bool,
+}
+
+/// Results of the encoding + logic-synthesis stages for one machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogicReport {
+    /// Register `R1` width in bits.
+    pub r1_bits: u32,
+    /// Register `R2` width in bits.
+    pub r2_bits: u32,
+    /// Total gates over `C1`, `C2` and the output logic.
+    pub gates: usize,
+    /// Total gate-input connections (area proxy).
+    pub literals: usize,
+    /// Maximum combinational depth over the three blocks.
+    pub depth: usize,
+}
+
+/// One self-test session of the BIST stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionReport {
+    /// Block under test (`C1` or `C2`).
+    pub block: String,
+    /// Patterns applied.
+    pub patterns: usize,
+    /// Fault-free signature.
+    pub good_signature: u64,
+    /// Single-stuck-at faults of the block.
+    pub total_faults: usize,
+    /// Faults whose signature differs from the fault-free one.
+    pub detected_faults: usize,
+}
+
+/// Results of the BIST stage for one machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BistReport {
+    /// Session 1 (`C1` under test).
+    pub session1: SessionReport,
+    /// Session 2 (`C2` under test).
+    pub session2: SessionReport,
+    /// Signature-based fault coverage over both sessions.
+    pub overall_coverage: f64,
+}
+
+/// The full pipeline report for one machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineReport {
+    /// Machine name.
+    pub name: String,
+    /// How far the machine travelled through the pipeline.
+    pub status: MachineStatus,
+    /// `|S|`.
+    pub states: usize,
+    /// Input alphabet size.
+    pub inputs: usize,
+    /// Output alphabet size.
+    pub outputs: usize,
+    /// Solve-stage results (absent only when the machine timed out before
+    /// the solver finished or a stage errored out).
+    pub solve: Option<SolveReport>,
+    /// The paper's Table 1 row, if this machine is one of the 13 benchmarks.
+    pub paper_table1: Option<PaperTable1Row>,
+    /// The paper's Table 2 row, if present.
+    pub paper_table2: Option<PaperTable2Row>,
+    /// Logic-synthesis results (machines within the gate-level limits only).
+    pub logic: Option<LogicReport>,
+    /// BIST results (machines within the gate-level limits only).
+    pub bist: Option<BistReport>,
+}
+
+/// Aggregate counters over a suite run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SuiteSummary {
+    /// Machines in the corpus.
+    pub machines: usize,
+    /// Machines that ran all stages.
+    pub full: usize,
+    /// Machines that ran the solve stage only.
+    pub solve_only: usize,
+    /// Machines cut off by the per-machine timeout.
+    pub timed_out: usize,
+    /// Machines on which a stage failed.
+    pub errors: usize,
+    /// Machines with a non-trivial decomposition.
+    pub nontrivial: usize,
+    /// Sum of `2 · ⌈log2 |S|⌉` over all solved machines (conventional BIST).
+    pub conventional_bist_ff_total: u64,
+    /// Sum of pipeline register bits over all solved machines.
+    pub pipeline_ff_total: u64,
+}
+
+/// The deterministic configuration echo embedded in the report, so a golden
+/// file pins both the results and the settings that produced them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigEcho {
+    /// Solver node budget.
+    pub max_nodes: u64,
+    /// Whether the Lemma 1 pruning was enabled.
+    pub lemma1_pruning: bool,
+    /// Whether the search stopped at the information-theoretic lower bound.
+    pub stop_at_lower_bound: bool,
+    /// Encoding strategy name.
+    pub encoding: String,
+    /// Whether two-level minimisation was enabled.
+    pub minimize: bool,
+    /// BIST patterns per session.
+    pub patterns_per_session: usize,
+    /// Gate-level stage state-count limit.
+    pub gate_level_max_states: usize,
+    /// Gate-level stage input-count limit.
+    pub gate_level_max_inputs: usize,
+}
+
+/// The complete report of one corpus run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteReport {
+    /// Corpus label (`embedded`, a directory name, …).
+    pub suite: String,
+    /// The configuration that produced the report.
+    pub config: ConfigEcho,
+    /// One report per machine, in corpus order.
+    pub machines: Vec<MachineReport>,
+    /// Aggregate counters.
+    pub summary: SuiteSummary,
+}
+
+impl SuiteReport {
+    /// Serialises the report as deterministic pretty-printed JSON.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_pretty()
+    }
+
+    /// The report as a [`Json`] value.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            (
+                "schema_version".into(),
+                Json::from_u64(REPORT_SCHEMA_VERSION),
+            ),
+            ("suite".into(), Json::String(self.suite.clone())),
+            ("config".into(), config_json(&self.config)),
+            (
+                "machines".into(),
+                Json::Array(self.machines.iter().map(machine_json).collect()),
+            ),
+            ("summary".into(), summary_json(&self.summary)),
+        ])
+    }
+}
+
+fn config_json(c: &ConfigEcho) -> Json {
+    Json::Object(vec![
+        ("max_nodes".into(), Json::from_u64(c.max_nodes)),
+        ("lemma1_pruning".into(), Json::Bool(c.lemma1_pruning)),
+        (
+            "stop_at_lower_bound".into(),
+            Json::Bool(c.stop_at_lower_bound),
+        ),
+        ("encoding".into(), Json::String(c.encoding.clone())),
+        ("minimize".into(), Json::Bool(c.minimize)),
+        (
+            "patterns_per_session".into(),
+            Json::from_usize(c.patterns_per_session),
+        ),
+        (
+            "gate_level_max_states".into(),
+            Json::from_usize(c.gate_level_max_states),
+        ),
+        (
+            "gate_level_max_inputs".into(),
+            Json::from_usize(c.gate_level_max_inputs),
+        ),
+    ])
+}
+
+fn machine_json(m: &MachineReport) -> Json {
+    let mut entries = vec![
+        ("name".into(), Json::String(m.name.clone())),
+        (
+            "status".into(),
+            Json::String(m.status.as_json_str().to_string()),
+        ),
+        ("states".into(), Json::from_usize(m.states)),
+        ("inputs".into(), Json::from_usize(m.inputs)),
+        ("outputs".into(), Json::from_usize(m.outputs)),
+    ];
+    if let MachineStatus::Error(message) = &m.status {
+        entries.push(("error".into(), Json::String(message.clone())));
+    }
+    entries.push((
+        "solve".into(),
+        m.solve.as_ref().map_or(Json::Null, solve_json),
+    ));
+    entries.push((
+        "paper".into(),
+        paper_json(m.paper_table1.as_ref(), m.paper_table2.as_ref()),
+    ));
+    entries.push((
+        "logic".into(),
+        m.logic.as_ref().map_or(Json::Null, logic_json),
+    ));
+    entries.push(("bist".into(), m.bist.as_ref().map_or(Json::Null, bist_json)));
+    Json::Object(entries)
+}
+
+fn solve_json(s: &SolveReport) -> Json {
+    Json::Object(vec![
+        ("s1".into(), Json::from_usize(s.s1)),
+        ("s2".into(), Json::from_usize(s.s2)),
+        (
+            "conventional_bist_ff".into(),
+            Json::from_u64(u64::from(s.conventional_bist_ff)),
+        ),
+        (
+            "pipeline_ff".into(),
+            Json::from_u64(u64::from(s.pipeline_ff)),
+        ),
+        ("nontrivial".into(), Json::Bool(s.nontrivial)),
+        ("basis_size".into(), Json::from_usize(s.basis_size)),
+        (
+            "nodes_investigated".into(),
+            Json::from_u64(s.nodes_investigated),
+        ),
+        ("subtrees_pruned".into(), Json::from_u64(s.subtrees_pruned)),
+        ("budget_exhausted".into(), Json::Bool(s.budget_exhausted)),
+        (
+            "realization_verified".into(),
+            Json::Bool(s.realization_verified),
+        ),
+    ])
+}
+
+fn paper_json(t1: Option<&PaperTable1Row>, t2: Option<&PaperTable2Row>) -> Json {
+    if t1.is_none() && t2.is_none() {
+        return Json::Null;
+    }
+    let mut entries = Vec::new();
+    if let Some(row) = t1 {
+        entries.push(("s1".into(), Json::from_usize(row.s1)));
+        entries.push(("s2".into(), Json::from_usize(row.s2)));
+        entries.push((
+            "conventional_bist_ff".into(),
+            Json::from_u64(u64::from(row.conventional_bist_ff)),
+        ));
+        entries.push((
+            "pipeline_ff".into(),
+            Json::from_u64(u64::from(row.pipeline_ff)),
+        ));
+        entries.push(("timeout".into(), Json::Bool(row.timeout)));
+    }
+    if let Some(row) = t2 {
+        entries.push((
+            "log2_tree_size".into(),
+            row.log2_tree_size
+                .map_or(Json::Null, |v| Json::from_u64(u64::from(v))),
+        ));
+        entries.push((
+            "nodes_investigated".into(),
+            row.nodes_investigated.map_or(Json::Null, Json::from_u64),
+        ));
+    }
+    Json::Object(entries)
+}
+
+fn logic_json(l: &LogicReport) -> Json {
+    Json::Object(vec![
+        ("r1_bits".into(), Json::from_u64(u64::from(l.r1_bits))),
+        ("r2_bits".into(), Json::from_u64(u64::from(l.r2_bits))),
+        ("gates".into(), Json::from_usize(l.gates)),
+        ("literals".into(), Json::from_usize(l.literals)),
+        ("depth".into(), Json::from_usize(l.depth)),
+    ])
+}
+
+fn session_json(s: &SessionReport) -> Json {
+    Json::Object(vec![
+        ("block".into(), Json::String(s.block.clone())),
+        ("patterns".into(), Json::from_usize(s.patterns)),
+        ("good_signature".into(), Json::from_u64(s.good_signature)),
+        ("total_faults".into(), Json::from_usize(s.total_faults)),
+        (
+            "detected_faults".into(),
+            Json::from_usize(s.detected_faults),
+        ),
+    ])
+}
+
+fn bist_json(b: &BistReport) -> Json {
+    Json::Object(vec![
+        ("session1".into(), session_json(&b.session1)),
+        ("session2".into(), session_json(&b.session2)),
+        ("overall_coverage".into(), Json::Number(b.overall_coverage)),
+    ])
+}
+
+fn summary_json(s: &SuiteSummary) -> Json {
+    Json::Object(vec![
+        ("machines".into(), Json::from_usize(s.machines)),
+        ("full".into(), Json::from_usize(s.full)),
+        ("solve_only".into(), Json::from_usize(s.solve_only)),
+        ("timed_out".into(), Json::from_usize(s.timed_out)),
+        ("errors".into(), Json::from_usize(s.errors)),
+        ("nontrivial".into(), Json::from_usize(s.nontrivial)),
+        (
+            "conventional_bist_ff_total".into(),
+            Json::from_u64(s.conventional_bist_ff_total),
+        ),
+        (
+            "pipeline_ff_total".into(),
+            Json::from_u64(s.pipeline_ff_total),
+        ),
+    ])
+}
+
+/// Formats a compact fixed-width paper-vs-measured table (the Table 1 shape)
+/// for human consumption on stderr; the JSON report is the machine-readable
+/// artefact.
+#[must_use]
+pub fn format_summary_table(report: &SuiteReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:>6} {:>5} {:>13} {:>13} {:>12} {:>15} {:>10}\n",
+        "name",
+        "status",
+        "|S|",
+        "|S1| pap/meas",
+        "|S2| pap/meas",
+        "FF pap/meas",
+        "coverage",
+        "nodes"
+    ));
+    for m in &report.machines {
+        let (p_s1, p_s2, p_ff) = m.paper_table1.as_ref().map_or(
+            ("-".to_string(), "-".to_string(), "-".to_string()),
+            |p| {
+                (
+                    p.s1.to_string(),
+                    p.s2.to_string(),
+                    p.pipeline_ff.to_string(),
+                )
+            },
+        );
+        let (s1, s2, ff, nodes) = m.solve.as_ref().map_or(
+            (
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ),
+            |s| {
+                (
+                    s.s1.to_string(),
+                    s.s2.to_string(),
+                    s.pipeline_ff.to_string(),
+                    s.nodes_investigated.to_string(),
+                )
+            },
+        );
+        let coverage = m.bist.as_ref().map_or("-".to_string(), |b| {
+            format!("{:.2}%", 100.0 * b.overall_coverage)
+        });
+        out.push_str(&format!(
+            "{:<10} {:>6} {:>5} {:>13} {:>13} {:>12} {:>15} {:>10}\n",
+            m.name,
+            m.status.as_json_str(),
+            m.states,
+            format!("{p_s1}/{s1}"),
+            format!("{p_s2}/{s2}"),
+            format!("{p_ff}/{ff}"),
+            coverage,
+            nodes
+        ));
+    }
+    let s = &report.summary;
+    out.push_str(&format!(
+        "\n{} machines: {} full, {} solve-only, {} timeout, {} error; {} non-trivial; register bits {} -> {}\n",
+        s.machines,
+        s.full,
+        s.solve_only,
+        s.timed_out,
+        s.errors,
+        s.nontrivial,
+        s.conventional_bist_ff_total,
+        s.pipeline_ff_total
+    ));
+    out
+}

@@ -1,0 +1,400 @@
+//! The corpus runner: drives every machine of a corpus through the four
+//! stages, serially or on a scoped worker pool.
+//!
+//! Determinism contract: a machine's report depends only on the machine and
+//! the [`PipelineConfig`] — never on the worker count, scheduling order or
+//! wall clock — and reports are assembled in corpus order.  The serial
+//! fallback (`jobs == 1`) therefore produces byte-identical JSON to any
+//! parallel run.  The only escape hatches are the per-machine wall-clock
+//! timeout (a safety net against pathological corpora; disabled by default)
+//! and a solver `time_limit` (also `None` by default): enabling either trades
+//! determinism for boundedness, which the CLI documents.
+
+use crate::corpus::CorpusEntry;
+use crate::report::{
+    BistReport, ConfigEcho, LogicReport, MachineReport, MachineStatus, SessionReport, SolveReport,
+    SuiteReport, SuiteSummary,
+};
+use crate::Stage;
+use stc_bist::BistStage;
+use stc_encoding::{EncodeStage, EncodingStrategy};
+use stc_fsm::ceil_log2;
+use stc_logic::{LogicStage, SynthOptions};
+use stc_synth::{SolveStage, SolverConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Size limits above which the gate-level stages (encode, logic, BIST) are
+/// skipped and a machine gets a `solve-only` report — mirroring the paper,
+/// which reports gate-level numbers only for tractable machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateLevelLimits {
+    /// Maximum `|S|` for gate-level synthesis.
+    pub max_states: usize,
+    /// Maximum input-alphabet size for gate-level synthesis.
+    pub max_inputs: usize,
+}
+
+impl Default for GateLevelLimits {
+    fn default() -> Self {
+        Self {
+            max_states: 10,
+            max_inputs: 16,
+        }
+    }
+}
+
+/// Configuration of a corpus run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// OSTR solver configuration.  The default is *deterministic*: a node
+    /// budget with no wall-clock limit, so `nodes_investigated` and
+    /// `budget_exhausted` are pure functions of the machine.
+    pub solver: SolverConfig,
+    /// State-assignment strategy.
+    pub encoding: EncodingStrategy,
+    /// Two-level minimisation options.
+    pub synth: SynthOptions,
+    /// BIST patterns per self-test session.
+    pub patterns_per_session: usize,
+    /// Gate-level stage limits.
+    pub gate_level: GateLevelLimits,
+    /// Optional per-machine wall-clock timeout, checked between stages.
+    /// `None` (the default) keeps the run fully deterministic.
+    pub machine_timeout: Option<Duration>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            solver: SolverConfig {
+                max_nodes: 100_000,
+                time_limit: None,
+                lemma1_pruning: true,
+                stop_at_lower_bound: true,
+            },
+            encoding: EncodingStrategy::Binary,
+            synth: SynthOptions::default(),
+            patterns_per_session: 256,
+            gate_level: GateLevelLimits::default(),
+            machine_timeout: None,
+        }
+    }
+}
+
+impl PipelineConfig {
+    fn echo(&self) -> ConfigEcho {
+        ConfigEcho {
+            max_nodes: self.solver.max_nodes,
+            lemma1_pruning: self.solver.lemma1_pruning,
+            stop_at_lower_bound: self.solver.stop_at_lower_bound,
+            encoding: format!("{:?}", self.encoding).to_ascii_lowercase(),
+            minimize: self.synth.minimize,
+            patterns_per_session: self.patterns_per_session,
+            gate_level_max_states: self.gate_level.max_states,
+            gate_level_max_inputs: self.gate_level.max_inputs,
+        }
+    }
+}
+
+/// Wall-clock timing of one machine, reported alongside (never inside) the
+/// deterministic report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineTiming {
+    /// Machine name.
+    pub name: String,
+    /// Wall-clock time of the machine's pipeline run.
+    pub elapsed: Duration,
+}
+
+/// The outcome of a corpus run: the deterministic report plus the
+/// non-deterministic timing side channel.
+#[derive(Debug, Clone)]
+pub struct SuiteRun {
+    /// The deterministic, machine-readable report.
+    pub report: SuiteReport,
+    /// Per-machine wall-clock timings, in corpus order.
+    pub timings: Vec<MachineTiming>,
+}
+
+/// Drives one machine through solve → encode → logic → BIST.
+#[must_use]
+pub fn run_machine(entry: &CorpusEntry, config: &PipelineConfig) -> MachineReport {
+    let deadline = config.machine_timeout.map(|t| Instant::now() + t);
+    let machine = &entry.machine;
+    let mut report = MachineReport {
+        name: machine.name().to_string(),
+        status: MachineStatus::Full,
+        states: machine.num_states(),
+        inputs: machine.num_inputs(),
+        outputs: machine.num_outputs(),
+        solve: None,
+        paper_table1: entry.table1,
+        paper_table2: entry.table2,
+        logic: None,
+        bist: None,
+    };
+
+    // Stage 1: OSTR lattice search plus the Theorem 1 realization.
+    let solved = SolveStage::new(config.solver).run(machine);
+    let verified = solved.realization.verify(machine).is_none();
+    let states = machine.num_states();
+    report.solve = Some(SolveReport {
+        s1: solved.outcome.best.cost.s1(),
+        s2: solved.outcome.best.cost.s2(),
+        conventional_bist_ff: 2 * ceil_log2(states),
+        pipeline_ff: solved.outcome.pipeline_flipflops(),
+        nontrivial: solved.outcome.best.cost.s1() < states
+            || solved.outcome.best.cost.s2() < states,
+        basis_size: solved.outcome.stats.basis_size,
+        nodes_investigated: solved.outcome.stats.nodes_investigated,
+        subtrees_pruned: solved.outcome.stats.subtrees_pruned,
+        budget_exhausted: solved.outcome.stats.budget_exhausted,
+        realization_verified: verified,
+    });
+    if !verified {
+        report.status = MachineStatus::Error(
+            "the realization of the best OSTR solution does not realize the specification".into(),
+        );
+        return report;
+    }
+    if past(deadline) {
+        report.status = MachineStatus::TimedOut;
+        return report;
+    }
+    if report.states > config.gate_level.max_states || report.inputs > config.gate_level.max_inputs
+    {
+        report.status = MachineStatus::SolveOnly;
+        return report;
+    }
+
+    // Stage 2 + 3: state assignment and two-level logic synthesis.
+    let encoded = EncodeStage::new(config.encoding).run((machine, &solved.realization));
+    let logic = LogicStage::new(config.synth).run(&encoded);
+    report.logic = Some(LogicReport {
+        r1_bits: logic.r1_bits,
+        r2_bits: logic.r2_bits,
+        gates: logic.gate_count(),
+        literals: logic.literal_count(),
+        depth: [&logic.c1.netlist, &logic.c2.netlist, &logic.output.netlist]
+            .iter()
+            .map(|n| n.depth())
+            .max()
+            .unwrap_or(0),
+    });
+    if past(deadline) {
+        report.status = MachineStatus::TimedOut;
+        return report;
+    }
+
+    // Stage 4: two-session self-test planning and fault-coverage estimation.
+    let self_test = BistStage::new(config.patterns_per_session).run(&logic);
+    report.bist = Some(BistReport {
+        overall_coverage: self_test.overall_coverage(),
+        session1: session_report(&self_test.session1),
+        session2: session_report(&self_test.session2),
+    });
+    report
+}
+
+fn session_report(s: &stc_bist::SessionResult) -> SessionReport {
+    SessionReport {
+        block: s.block.clone(),
+        patterns: s.patterns,
+        good_signature: s.good_signature,
+        total_faults: s.total_faults,
+        detected_faults: s.detected_faults,
+    }
+}
+
+fn past(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+/// Runs the whole corpus with `jobs` workers (`1` selects the serial
+/// fallback) and assembles the report in corpus order.
+#[must_use]
+pub fn run_corpus(
+    entries: &[CorpusEntry],
+    config: &PipelineConfig,
+    jobs: usize,
+    suite_name: &str,
+) -> SuiteRun {
+    let results: Vec<(MachineReport, Duration)> = if jobs <= 1 || entries.len() <= 1 {
+        entries
+            .iter()
+            .map(|entry| timed_run(entry, config))
+            .collect()
+    } else {
+        run_parallel(entries, config, jobs.min(entries.len()))
+    };
+
+    let mut machines = Vec::with_capacity(results.len());
+    let mut timings = Vec::with_capacity(results.len());
+    let mut summary = SuiteSummary {
+        machines: results.len(),
+        ..SuiteSummary::default()
+    };
+    for (report, elapsed) in results {
+        match &report.status {
+            MachineStatus::Full => summary.full += 1,
+            MachineStatus::SolveOnly => summary.solve_only += 1,
+            MachineStatus::TimedOut => summary.timed_out += 1,
+            MachineStatus::Error(_) => summary.errors += 1,
+        }
+        if let Some(solve) = &report.solve {
+            summary.nontrivial += usize::from(solve.nontrivial);
+            summary.conventional_bist_ff_total += u64::from(solve.conventional_bist_ff);
+            summary.pipeline_ff_total += u64::from(solve.pipeline_ff);
+        }
+        timings.push(MachineTiming {
+            name: report.name.clone(),
+            elapsed,
+        });
+        machines.push(report);
+    }
+
+    SuiteRun {
+        report: SuiteReport {
+            suite: suite_name.to_string(),
+            config: config.echo(),
+            machines,
+            summary,
+        },
+        timings,
+    }
+}
+
+fn timed_run(entry: &CorpusEntry, config: &PipelineConfig) -> (MachineReport, Duration) {
+    let start = Instant::now();
+    let report = run_machine(entry, config);
+    (report, start.elapsed())
+}
+
+/// The scoped worker pool: `jobs` std threads pull machine indices from a
+/// shared atomic counter and deposit results into per-index slots, so the
+/// output order is the corpus order regardless of completion order.
+fn run_parallel(
+    entries: &[CorpusEntry],
+    config: &PipelineConfig,
+    jobs: usize,
+) -> Vec<(MachineReport, Duration)> {
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<(MachineReport, Duration)>>> =
+        entries.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(entry) = entries.get(index) else {
+                    break;
+                };
+                let result = timed_run(entry, config);
+                *slots[index].lock().expect("no panics while holding lock") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("worker threads joined")
+                .expect("every index was claimed exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{embedded_corpus, filter_by_names};
+
+    fn small_config() -> PipelineConfig {
+        PipelineConfig {
+            solver: SolverConfig {
+                max_nodes: 10_000,
+                time_limit: None,
+                lemma1_pruning: true,
+                stop_at_lower_bound: true,
+            },
+            patterns_per_session: 32,
+            ..PipelineConfig::default()
+        }
+    }
+
+    fn small_corpus() -> Vec<CorpusEntry> {
+        filter_by_names(
+            embedded_corpus(),
+            &["tav".to_string(), "shiftreg".to_string(), "mc".to_string()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn full_reports_for_small_machines() {
+        let run = run_corpus(&small_corpus(), &small_config(), 1, "test");
+        assert_eq!(run.report.machines.len(), 3);
+        for m in &run.report.machines {
+            assert_eq!(m.status, MachineStatus::Full, "{}", m.name);
+            let solve = m.solve.as_ref().unwrap();
+            assert!(solve.realization_verified, "{}", m.name);
+            assert!(m.logic.is_some(), "{}", m.name);
+            assert!(m.bist.is_some(), "{}", m.name);
+        }
+        let tav = &run.report.machines[2];
+        assert_eq!(tav.name, "tav");
+        assert_eq!(tav.solve.as_ref().unwrap().pipeline_ff, 2);
+        assert_eq!(run.report.summary.full, 3);
+        assert_eq!(run.timings.len(), 3);
+    }
+
+    #[test]
+    fn oversized_machines_get_solve_only_reports() {
+        let corpus = filter_by_names(embedded_corpus(), &["bbara".to_string()]).unwrap();
+        let config = PipelineConfig {
+            gate_level: GateLevelLimits {
+                max_states: 4,
+                max_inputs: 4,
+            },
+            ..small_config()
+        };
+        let run = run_corpus(&corpus, &config, 1, "test");
+        assert_eq!(run.report.machines[0].status, MachineStatus::SolveOnly);
+        assert!(run.report.machines[0].solve.is_some());
+        assert!(run.report.machines[0].logic.is_none());
+    }
+
+    #[test]
+    fn zero_timeout_reports_timed_out_machines() {
+        let corpus = small_corpus();
+        let config = PipelineConfig {
+            machine_timeout: Some(Duration::ZERO),
+            ..small_config()
+        };
+        let run = run_corpus(&corpus, &config, 1, "test");
+        assert!(run
+            .report
+            .machines
+            .iter()
+            .all(|m| m.status == MachineStatus::TimedOut));
+        // The solve stage still completed before the deadline check.
+        assert!(run.report.machines.iter().all(|m| m.solve.is_some()));
+    }
+
+    #[test]
+    fn parallel_run_equals_serial_run() {
+        let corpus = small_corpus();
+        let config = small_config();
+        let serial = run_corpus(&corpus, &config, 1, "test");
+        for jobs in [2, 3, 8] {
+            let parallel = run_corpus(&corpus, &config, jobs, "test");
+            assert_eq!(serial.report, parallel.report, "jobs = {jobs}");
+            assert_eq!(
+                serial.report.to_json_string(),
+                parallel.report.to_json_string(),
+                "jobs = {jobs}"
+            );
+        }
+    }
+}

@@ -1,49 +1,21 @@
-//! Runs the OSTR solver over the whole embedded benchmark suite and prints a
-//! compact Table-1-style summary — a smaller, faster version of the
-//! `table1` / `table2` binaries in `stc-bench`.
+//! Runs the batch-synthesis pipeline over the whole embedded benchmark suite
+//! and prints the paper-vs-measured summary — the same flow `stc run` exposes
+//! on the command line, driven through the library API.
 //!
 //! Run with `cargo run --release --example benchmark_sweep`.
 
-use std::time::Duration;
-
-use stc::fsm::benchmarks;
-use stc::synth::{OstrSolver, SolverConfig};
+use stc::pipeline::{embedded_corpus, format_summary_table, run_corpus, PipelineConfig};
 
 fn main() {
-    let config = SolverConfig {
-        max_nodes: 100_000,
-        time_limit: Some(Duration::from_secs(5)),
-        lemma1_pruning: true,
-        stop_at_lower_bound: true,
-    };
-    println!(
-        "{:<10} {:>4} {:>6} {:>6} {:>10} {:>12} {:>10} {:>8}",
-        "name", "|S|", "|S1|", "|S2|", "conv. FF", "pipeline FF", "nodes", "time"
-    );
-    let mut nontrivial = 0usize;
-    for benchmark in benchmarks::suite() {
-        let outcome = OstrSolver::new(config).solve(&benchmark.machine);
-        let states = benchmark.machine.num_states();
-        let conv_ff = 2 * stc::fsm::ceil_log2(states);
-        if outcome.best.cost.s1() < states || outcome.best.cost.s2() < states {
-            nontrivial += 1;
-        }
-        println!(
-            "{:<10} {:>4} {:>6} {:>6} {:>10} {:>12} {:>10} {:>7.1}ms{}",
-            benchmark.name(),
-            states,
-            outcome.best.cost.s1(),
-            outcome.best.cost.s2(),
-            conv_ff,
-            outcome.pipeline_flipflops(),
-            outcome.stats.nodes_investigated,
-            outcome.stats.elapsed_micros as f64 / 1000.0,
-            if outcome.stats.budget_exhausted {
-                " (budget)"
-            } else {
-                ""
-            }
-        );
-    }
+    let corpus = embedded_corpus();
+    let jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let run = run_corpus(&corpus, &PipelineConfig::default(), jobs, "embedded");
+
+    print!("{}", format_summary_table(&run.report));
+
+    let nontrivial = run.report.summary.nontrivial;
     println!("\nnon-trivial decompositions: {nontrivial}/13 (paper: 8/13)");
+    // The report contains no wall-clock values, so its JSON is byte-identical
+    // for any worker count — asserted by tests/pipeline_determinism.rs and
+    // diffed against tests/golden/embedded_suite.json by the CI smoke job.
 }

@@ -1,0 +1,352 @@
+//! The `stc` command-line interface: batch synthesis of self-testable
+//! controllers over a corpus, plus the perf-regression gate used in CI.
+//!
+//! * `stc run` — drive the full flow (OSTR solve → encode → logic → BIST)
+//!   over the embedded benchmark suite or a directory of KISS2 files, in
+//!   parallel, and emit a deterministic JSON report.
+//! * `stc bench-check` — run the bench harness and compare against the
+//!   committed `crates/bench/BENCH_*.json` baselines with a relative
+//!   tolerance; non-zero exit on regression.
+//! * `stc list` — list the machines of a corpus.
+//!
+//! See the README for the JSON report schema and the re-baselining workflow.
+
+use stc::pipeline::{
+    compare_benchmarks, embedded_corpus, filter_by_names, format_summary_table, kiss2_corpus,
+    load_baseline_dir, run_corpus, BenchMeasurement, CorpusEntry, PipelineConfig, PipelineError,
+    SuiteRun,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+stc — synthesis of self-testable controllers (Hellebrand & Wunderlich, EURO-DAC '94)
+
+USAGE:
+    stc run [OPTIONS]            run the batch pipeline and print a JSON report
+    stc list [OPTIONS]           list the machines of the selected corpus
+    stc bench-check [OPTIONS]    compare bench results against committed baselines
+    stc help                     print this message
+
+CORPUS OPTIONS (run, list):
+    --suite embedded             the embedded 13-machine benchmark suite (default)
+    --kiss2 <DIR>                load every *.kiss2 / *.kiss file of a directory
+    --machine <NAME>             restrict to the named machine (repeatable)
+
+RUN OPTIONS:
+    --jobs <N>                   worker threads (default: available parallelism;
+                                 1 selects the serial fallback — same output)
+    --out <FILE>                 write the JSON report to FILE instead of stdout
+    --max-nodes <N>              OSTR solver node budget per machine (default 100000)
+    --patterns <N>               BIST patterns per self-test session (default 256)
+    --gate-states <N>            max |S| for the gate-level stages (default 10)
+    --gate-inputs <N>            max input-alphabet size for gate level (default 16)
+    --no-minimize                skip two-level minimisation
+    --timeout-secs <S>           per-machine wall-clock safety net, checked between
+                                 stages (default: off; using it can make reports
+                                 depend on machine speed)
+
+BENCH-CHECK OPTIONS:
+    --baseline-dir <DIR>         committed baselines (default: crates/bench)
+    --measured-dir <DIR>         pre-existing fresh BENCH_*.json files; when absent,
+                                 `cargo bench -p stc-bench` runs in target/bench-check
+    --tolerance <F>              relative tolerance, 0.30 = ±30% (default 0.30)
+
+The JSON report contains no wall-clock values: for a fixed corpus and options
+it is byte-identical for any --jobs value, so CI diffs it against a golden
+file.  Timings go to stderr.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "run" => cmd_run(rest),
+        "list" => cmd_list(rest),
+        "bench-check" => cmd_bench_check(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("unknown command '{other}'\n");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Shared corpus selection flags of `run` and `list`.
+struct CorpusArgs {
+    suite: String,
+    kiss2: Option<PathBuf>,
+    machines: Vec<String>,
+}
+
+impl CorpusArgs {
+    fn load(&self) -> Result<(String, Vec<CorpusEntry>), String> {
+        let (label, corpus) = match &self.kiss2 {
+            Some(dir) => (
+                dir.display().to_string(),
+                kiss2_corpus(dir).map_err(|e| e.to_string())?,
+            ),
+            None => {
+                if self.suite != "embedded" {
+                    return Err(format!(
+                        "unknown suite '{}' (only 'embedded' is built in; use --kiss2 for \
+                         external corpora)",
+                        self.suite
+                    ));
+                }
+                ("embedded".to_string(), embedded_corpus())
+            }
+        };
+        let corpus = if self.machines.is_empty() {
+            corpus
+        } else {
+            filter_by_names(corpus, &self.machines).map_err(|e| e.to_string())?
+        };
+        Ok((label, corpus))
+    }
+}
+
+/// Pulls the value of a `--flag VALUE` pair out of the argument stream.
+fn take_value<'a>(
+    flag: &str,
+    iter: &mut std::slice::Iter<'a, String>,
+) -> Result<&'a String, String> {
+    iter.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_number<T: std::str::FromStr>(flag: &str, text: &str) -> Result<T, String> {
+    text.parse()
+        .map_err(|_| format!("{flag}: invalid value '{text}'"))
+}
+
+fn parse_corpus_flag(
+    flag: &str,
+    iter: &mut std::slice::Iter<'_, String>,
+    corpus: &mut CorpusArgs,
+) -> Result<bool, String> {
+    match flag {
+        "--suite" => corpus.suite = take_value(flag, iter)?.clone(),
+        "--kiss2" => corpus.kiss2 = Some(PathBuf::from(take_value(flag, iter)?)),
+        "--machine" => corpus.machines.push(take_value(flag, iter)?.clone()),
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    let mut corpus_args = CorpusArgs {
+        suite: "embedded".into(),
+        kiss2: None,
+        machines: Vec::new(),
+    };
+    let mut config = PipelineConfig::default();
+    let mut jobs = default_jobs();
+    let mut out: Option<PathBuf> = None;
+
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        if parse_corpus_flag(flag, &mut iter, &mut corpus_args)? {
+            continue;
+        }
+        match flag.as_str() {
+            "--jobs" => jobs = parse_number(flag, take_value(flag, &mut iter)?)?,
+            "--out" => out = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--max-nodes" => {
+                config.solver.max_nodes = parse_number(flag, take_value(flag, &mut iter)?)?;
+            }
+            "--patterns" => {
+                config.patterns_per_session = parse_number(flag, take_value(flag, &mut iter)?)?;
+            }
+            "--gate-states" => {
+                config.gate_level.max_states = parse_number(flag, take_value(flag, &mut iter)?)?;
+            }
+            "--gate-inputs" => {
+                config.gate_level.max_inputs = parse_number(flag, take_value(flag, &mut iter)?)?;
+            }
+            "--no-minimize" => config.synth.minimize = false,
+            "--timeout-secs" => {
+                let secs: u64 = parse_number(flag, take_value(flag, &mut iter)?)?;
+                config.machine_timeout = Some(Duration::from_secs(secs));
+            }
+            other => return Err(format!("unknown flag '{other}' for 'stc run'")),
+        }
+    }
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+
+    let (label, corpus) = corpus_args.load()?;
+    if corpus.is_empty() {
+        return Err(PipelineError::EmptyCorpus(label).to_string());
+    }
+    eprintln!(
+        "stc run: {} machines from '{label}', {jobs} worker(s)",
+        corpus.len()
+    );
+    let SuiteRun { report, timings } = run_corpus(&corpus, &config, jobs, &label);
+
+    eprint!("{}", format_summary_table(&report));
+    let total: Duration = timings.iter().map(|t| t.elapsed).sum();
+    let slowest = timings.iter().max_by_key(|t| t.elapsed);
+    if let Some(slowest) = slowest {
+        eprintln!(
+            "cpu time {:.1}s total, slowest machine '{}' at {:.1}s",
+            total.as_secs_f64(),
+            slowest.name,
+            slowest.elapsed.as_secs_f64()
+        );
+    }
+
+    let json = report.to_json_string();
+    match out {
+        Some(path) => std::fs::write(&path, &json)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?,
+        None => print!("{json}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_list(args: &[String]) -> Result<ExitCode, String> {
+    let mut corpus_args = CorpusArgs {
+        suite: "embedded".into(),
+        kiss2: None,
+        machines: Vec::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        if !parse_corpus_flag(flag, &mut iter, &mut corpus_args)? {
+            return Err(format!("unknown flag '{flag}' for 'stc list'"));
+        }
+    }
+    let (label, corpus) = corpus_args.load()?;
+    println!("corpus '{label}': {} machines", corpus.len());
+    for entry in &corpus {
+        println!(
+            "  {:<12} |S|={:<4} inputs={:<4} outputs={:<3}{}",
+            entry.name(),
+            entry.machine.num_states(),
+            entry.machine.num_inputs(),
+            entry.machine.num_outputs(),
+            if entry.table1.is_some() {
+                "  [paper Table 1]"
+            } else {
+                ""
+            }
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_bench_check(args: &[String]) -> Result<ExitCode, String> {
+    let mut baseline_dir = PathBuf::from("crates/bench");
+    let mut measured_dir: Option<PathBuf> = None;
+    let mut tolerance = 0.30_f64;
+
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--baseline-dir" => baseline_dir = PathBuf::from(take_value(flag, &mut iter)?),
+            "--measured-dir" => measured_dir = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--tolerance" => tolerance = parse_number(flag, take_value(flag, &mut iter)?)?,
+            other => return Err(format!("unknown flag '{other}' for 'stc bench-check'")),
+        }
+    }
+    if !(tolerance.is_finite() && tolerance >= 0.0) {
+        return Err("--tolerance must be a non-negative number".into());
+    }
+
+    let measured_dir = match measured_dir {
+        Some(dir) => dir,
+        None => run_bench_harness()?,
+    };
+    let baseline = flatten(load_baseline_dir(&baseline_dir).map_err(|e| e.to_string())?);
+    let measured = flatten(load_baseline_dir(&measured_dir).map_err(|e| e.to_string())?);
+
+    let check = compare_benchmarks(&baseline, &measured, tolerance);
+    eprint!("{}", check.format_table());
+    let improvements = check.improvements();
+    if !improvements.is_empty() {
+        eprintln!(
+            "{} benchmark(s) improved beyond the tolerance; consider re-baselining \
+             (see README: 'Re-baselining').",
+            improvements.len()
+        );
+    }
+    if check.passed() {
+        eprintln!(
+            "bench-check passed: {} benchmark(s) within ±{:.0}%",
+            check.compared.len(),
+            100.0 * tolerance
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!(
+            "bench-check FAILED: {} regression(s), {} missing benchmark(s)",
+            check.regressions().len(),
+            check.missing.len()
+        );
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn flatten(files: Vec<(String, Vec<BenchMeasurement>)>) -> Vec<BenchMeasurement> {
+    files.into_iter().flat_map(|(_, m)| m).collect()
+}
+
+/// Runs `cargo bench -p stc-bench` with `STC_BENCH_DIR` pointing at a
+/// scratch directory, so the vendored criterion harness deposits the fresh
+/// `BENCH_*.json` files there instead of clobbering the committed baselines
+/// (bench binaries run with the package directory as their cwd).  Returns
+/// the scratch directory.
+fn run_bench_harness() -> Result<PathBuf, String> {
+    let scratch = PathBuf::from("target").join("bench-check");
+    std::fs::create_dir_all(&scratch)
+        .map_err(|e| format!("cannot create {}: {e}", scratch.display()))?;
+    // Clear stale measurements so a failed bench run cannot silently pass
+    // against last week's files.
+    for entry in std::fs::read_dir(&scratch)
+        .map_err(|e| format!("cannot read {}: {e}", scratch.display()))?
+        .filter_map(Result::ok)
+    {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+    let scratch_abs = std::fs::canonicalize(&scratch)
+        .map_err(|e| format!("cannot canonicalize {}: {e}", scratch.display()))?;
+    eprintln!(
+        "running `cargo bench -p stc-bench` (measurements: {})",
+        scratch_abs.display()
+    );
+    let status = std::process::Command::new("cargo")
+        .args(["bench", "-p", "stc-bench"])
+        .env("STC_BENCH_DIR", &scratch_abs)
+        .status()
+        .map_err(|e| format!("cannot spawn cargo: {e}"))?;
+    if !status.success() {
+        return Err(format!("cargo bench failed with {status}"));
+    }
+    Ok(scratch)
+}

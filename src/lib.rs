@@ -24,6 +24,11 @@
 //! | [`encoding`] | `stc-encoding` | `crates/encoding` | state assignment and bit-level machine views |
 //! | [`logic`] | `stc-logic` | `crates/logic` | two-level minimisation, netlists, area/delay estimation |
 //! | [`bist`] | `stc-bist` | `crates/bist` | LFSR/MISR/BILBO, fault simulation, architecture comparison |
+//! | [`pipeline`] | `stc-pipeline` | `crates/pipeline` | corpus-level batch pipeline, parallel runner, JSON reports, perf-baseline checks |
+//!
+//! The `stc` binary (`src/bin/stc.rs`) exposes the batch pipeline and the
+//! perf-regression gate on the command line; see the README for its flags
+//! and the JSON report schema.
 //!
 //! # Quickstart
 //!
@@ -69,15 +74,26 @@ pub use stc_logic as logic;
 /// (re-export of [`stc_bist`]).
 pub use stc_bist as bist;
 
+/// The corpus-level batch-synthesis pipeline, parallel runner and reports
+/// (re-export of [`stc_pipeline`]).
+pub use stc_pipeline as pipeline;
+
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use stc_bist::{
         evaluate_architectures, pipeline_self_test, Architecture, ArchitectureOptions, Bilbo,
-        BilboMode, Lfsr, Misr,
+        BilboMode, BistStage, Lfsr, Misr,
     };
-    pub use stc_encoding::{EncodedMachine, EncodedPipeline, Encoding, EncodingStrategy};
+    pub use stc_encoding::{
+        EncodeStage, EncodedMachine, EncodedPipeline, Encoding, EncodingStrategy,
+    };
     pub use stc_fsm::{kiss2, state_equivalence, Mealy, MealyBuilder};
-    pub use stc_logic::{synthesize_controller, synthesize_pipeline, Netlist, SynthOptions};
+    pub use stc_logic::{
+        synthesize_controller, synthesize_pipeline, LogicStage, Netlist, SynthOptions,
+    };
     pub use stc_partition::{is_symmetric_pair, Partition};
-    pub use stc_synth::{solve, Cost, OstrSolver, Realization, SolverConfig};
+    pub use stc_pipeline::{
+        embedded_corpus, run_corpus, PipelineConfig, Stage, SuiteReport, SuiteRun,
+    };
+    pub use stc_synth::{solve, Cost, OstrSolver, Realization, SolveStage, SolverConfig};
 }

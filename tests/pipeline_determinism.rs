@@ -1,0 +1,100 @@
+//! Determinism guarantees of the batch pipeline: the serial fallback and any
+//! parallel run must produce byte-identical JSON reports, and a machine's
+//! report must not depend on the worker count it happened to run under.
+
+use stc::pipeline::{
+    embedded_corpus, filter_by_names, run_corpus, GateLevelLimits, PipelineConfig,
+};
+use stc::prelude::*;
+
+/// A reduced-budget configuration so the full embedded suite stays fast in
+/// debug-mode test runs; determinism must hold for every configuration.
+fn test_config() -> PipelineConfig {
+    PipelineConfig {
+        solver: SolverConfig {
+            max_nodes: 5_000,
+            time_limit: None,
+            lemma1_pruning: true,
+            stop_at_lower_bound: true,
+        },
+        patterns_per_session: 32,
+        gate_level: GateLevelLimits {
+            max_states: 8,
+            max_inputs: 8,
+        },
+        ..PipelineConfig::default()
+    }
+}
+
+#[test]
+fn parallel_report_is_byte_identical_to_the_serial_fallback() {
+    let corpus = embedded_corpus();
+    let config = test_config();
+    let serial = run_corpus(&corpus, &config, 1, "embedded");
+    let serial_json = serial.report.to_json_string();
+    for jobs in [2, 4, 13, 32] {
+        let parallel = run_corpus(&corpus, &config, jobs, "embedded");
+        assert_eq!(serial.report, parallel.report, "jobs = {jobs}");
+        assert_eq!(
+            serial_json,
+            parallel.report.to_json_string(),
+            "jobs = {jobs}: JSON must match byte for byte"
+        );
+    }
+    // Sanity: the suite actually ran and produced substantive sections.
+    assert_eq!(serial.report.machines.len(), 13);
+    assert!(serial.report.summary.full > 0);
+    assert!(serial.report.summary.nontrivial >= 4);
+}
+
+#[test]
+fn report_is_deterministic_across_repeated_runs() {
+    let corpus = filter_by_names(
+        embedded_corpus(),
+        &["tav".to_string(), "shiftreg".to_string()],
+    )
+    .unwrap();
+    let config = test_config();
+    let first = run_corpus(&corpus, &config, 2, "subset");
+    let second = run_corpus(&corpus, &config, 2, "subset");
+    assert_eq!(
+        first.report.to_json_string(),
+        second.report.to_json_string()
+    );
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+
+    /// Per-machine pipeline results are independent of the worker count: for
+    /// a random worker count and a random slice of the (small-machine)
+    /// corpus, every machine's report equals its serial single-machine run.
+    #[test]
+    fn per_machine_results_are_independent_of_worker_count(
+        jobs in 2usize..9,
+        start in 0usize..4,
+        len in 1usize..5,
+    ) {
+        let small: Vec<_> = embedded_corpus()
+            .into_iter()
+            .filter(|e| e.machine.num_states() <= 8 && e.machine.num_inputs() <= 8)
+            .collect();
+        let start = start.min(small.len() - 1);
+        let end = (start + len).min(small.len());
+        let slice = &small[start..end];
+        let config = test_config();
+
+        let parallel = run_corpus(slice, &config, jobs, "slice");
+        proptest::prop_assert_eq!(parallel.report.machines.len(), slice.len());
+        for (entry, from_parallel) in slice.iter().zip(&parallel.report.machines) {
+            let alone = run_corpus(std::slice::from_ref(entry), &config, 1, "slice");
+            proptest::prop_assert_eq!(
+                &alone.report.machines[0],
+                from_parallel,
+                "machine {} changed under jobs={}",
+                entry.name(),
+                jobs
+            );
+        }
+    }
+}

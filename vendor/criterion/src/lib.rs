@@ -94,7 +94,10 @@ impl Criterion {
     }
 
     /// Writes the collected measurements as a JSON baseline file named
-    /// `BENCH_<stem>.json` in the current directory.  No-op in test mode.
+    /// `BENCH_<stem>.json` in the current directory — or, when the
+    /// `STC_BENCH_DIR` environment variable is set, in that directory
+    /// (`stc bench-check` uses this to collect fresh measurements without
+    /// clobbering the committed baselines).  No-op in test mode.
     pub fn write_baseline(&self, stem: &str) {
         if self.test_mode || self.results.is_empty() {
             return;
@@ -110,11 +113,18 @@ impl Criterion {
             ));
         }
         json.push_str("  ]\n}\n");
-        let path = format!("BENCH_{stem}.json");
+        let mut path = std::path::PathBuf::new();
+        if let Some(dir) = std::env::var_os("STC_BENCH_DIR") {
+            path.push(dir);
+            if let Err(e) = std::fs::create_dir_all(&path) {
+                eprintln!("warning: could not create {}: {e}", path.display());
+            }
+        }
+        path.push(format!("BENCH_{stem}.json"));
         if let Err(e) = std::fs::write(&path, json) {
-            eprintln!("warning: could not write {path}: {e}");
+            eprintln!("warning: could not write {}: {e}", path.display());
         } else {
-            eprintln!("baseline written to {path}");
+            eprintln!("baseline written to {}", path.display());
         }
     }
 }

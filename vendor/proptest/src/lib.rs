@@ -208,7 +208,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// A size specification for [`vec`]: a fixed length or a length range.
+    /// A size specification for [`vec()`]: a fixed length or a length range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,
@@ -242,7 +242,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
