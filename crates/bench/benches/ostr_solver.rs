@@ -12,6 +12,7 @@ fn bench_config() -> SolverConfig {
         time_limit: Some(Duration::from_secs(5)),
         lemma1_pruning: true,
         stop_at_lower_bound: true,
+        ..SolverConfig::default()
     }
 }
 

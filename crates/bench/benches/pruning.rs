@@ -12,6 +12,7 @@ fn config(pruning: bool) -> SolverConfig {
         time_limit: Some(Duration::from_secs(5)),
         lemma1_pruning: pruning,
         stop_at_lower_bound: false,
+        ..SolverConfig::default()
     }
 }
 

@@ -72,6 +72,7 @@ pub fn table_solver_config() -> SolverConfig {
         time_limit: Some(Duration::from_secs(20)),
         lemma1_pruning: true,
         stop_at_lower_bound: true,
+        ..SolverConfig::default()
     }
 }
 

@@ -1,0 +1,598 @@
+//! The iterative branch-and-bound search core behind [`crate::OstrSolver`].
+//!
+//! The paper's depth-first search over subsets of the symmetric-pair basis is
+//! implemented here as an *explicit-stack* loop over an arena of packed
+//! κ-pairs (`stc_partition::PackedPair`), so the hot path performs no
+//! recursion and no per-node allocation: expanding a child copies the
+//! parent's arena slot and applies an in-place `join_assign`.
+//!
+//! Three layers sit on top of the faithful Lemma 1 search:
+//!
+//! * **Branch and bound** (`SolverConfig::branch_and_bound`).  Joins only
+//!   coarsen, so every descendant of a node with block counts `(c1, c2)` has
+//!   component sizes `a ≤ c1`, `b ≤ c2`; a solution additionally needs
+//!   `a · b ≥ |S/ε|` (the meet must refine ε).  [`BoundTable`] precomputes,
+//!   for every `(c1, c2)`, the minimum achievable [`Cost`] over that feasible
+//!   rectangle with an `O(n²)` dynamic program; a subtree is discarded when
+//!   its bound cannot *strictly* beat an incumbent that occurs earlier in
+//!   DFS order, which provably never changes the reported solution — up to
+//!   the exact-cost-tie corner of the `stop_at_lower_bound` early stop,
+//!   whose interaction is analysed in `DESIGN.md` §5.
+//! * **Deterministic subtree decomposition.**  The root's children (one per
+//!   basis element) partition the search tree into independent subtrees.
+//!   Each subtree is searched with subtree-local state only — its pruning
+//!   incumbent is seeded from the trivial solution and the prefix of
+//!   top-level candidates, never from a concurrently discovered result — so
+//!   a subtree's outcome is a pure function of `(machine, config, index,
+//!   node budget)`.
+//! * **Parallel subtree exploration** (`SolverConfig::parallel_subtrees`).
+//!   Scoped worker threads claim subtree indices from an atomic counter and
+//!   share the incumbent through an atomic best-cost word used for
+//!   work-skipping and cancellation only.  The deterministic reduction in
+//!   [`merge_subtrees`] replays the serial schedule: results are folded in
+//!   basis order, a subtree whose speculative run overshot the serial node
+//!   budget is re-searched with the exact remaining budget, and anything the
+//!   reduction decides to skip is simply discarded — so the solution *and*
+//!   the statistics are byte-identical to a serial run.
+
+use crate::cost::Cost;
+use crate::solver::{OstrSolution, SolverConfig};
+use stc_partition::{meets_within, PackedPair, PackedPartition, PackedScratch, Partition};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Counters produced by the search, folded into
+/// [`crate::SearchStats`] by the solver.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct EngineStats {
+    pub nodes: u64,
+    pub pruned: u64,
+    pub bound_pruned: u64,
+    pub solutions: u64,
+    pub exhausted: bool,
+}
+
+/// The immutable description of one OSTR search, shared across worker
+/// threads.
+pub(crate) struct SearchProblem<'a> {
+    /// `|S|` of the machine.
+    n: usize,
+    /// The state-equivalence partition ε, packed.
+    eps: PackedPartition,
+    /// The symmetric-pair basis, packed (same order as `general_basis`).
+    basis: Vec<PackedPair>,
+    /// The basis in its general representation (for reporting solutions).
+    general_basis: &'a [(Partition, Partition)],
+    config: SolverConfig,
+    deadline: Option<Instant>,
+    /// Cost lower bounds per block-count pair (present iff branch and bound
+    /// is enabled).
+    bound: Option<BoundTable>,
+    /// `seeds[k]`: the best normalized cost among the trivial solution and
+    /// the top-level candidates `basis[0..=k]` that meet ε — every one of
+    /// them occurs no later than subtree `k`'s root in DFS order, so it is a
+    /// sound pruning incumbent for subtree `k` (present iff branch and bound
+    /// is enabled).
+    seeds: Vec<Cost>,
+}
+
+/// The lower-bound table of the branch-and-bound layer.
+///
+/// `lower(a, b)` is `min { cost'(a', b') : a' ≤ a, b' ≤ b, a'·b' ≥ E }`
+/// where `cost'` is the orientation-normalized [`Cost`] and `E = |S/ε|`;
+/// `None` means the rectangle contains no feasible pair at all (no
+/// descendant can satisfy `π ∩ τ ⊆ ε`).
+struct BoundTable {
+    n: usize,
+    cells: Vec<Option<Cost>>,
+}
+
+impl BoundTable {
+    fn new(n: usize, eps_blocks: usize) -> Self {
+        let w = n + 1;
+        let mut cells: Vec<Option<Cost>> = vec![None; w * w];
+        for a in 1..=n {
+            for b in 1..=n {
+                let mut best = if a * b >= eps_blocks {
+                    Some(normalized_cost(a, b))
+                } else {
+                    None
+                };
+                for neighbour in [cells[(a - 1) * w + b], cells[a * w + b - 1]] {
+                    best = match (best, neighbour) {
+                        (Some(x), Some(y)) => Some(x.min(y)),
+                        (x, y) => x.or(y),
+                    };
+                }
+                cells[a * w + b] = best;
+            }
+        }
+        Self { n, cells }
+    }
+
+    fn lower(&self, a: usize, b: usize) -> Option<Cost> {
+        self.cells[a * (self.n + 1) + b]
+    }
+}
+
+/// The orientation-normalized cost of a factor-size pair: the solver may use
+/// a symmetric pair in either orientation and picks the better one.
+fn normalized_cost(c1: usize, c2: usize) -> Cost {
+    Cost::new(c1, c2).min(Cost::new(c2, c1))
+}
+
+impl<'a> SearchProblem<'a> {
+    pub(crate) fn new(
+        n: usize,
+        eps: &Partition,
+        basis: &'a [(Partition, Partition)],
+        config: SolverConfig,
+        deadline: Option<Instant>,
+    ) -> Self {
+        let eps_packed = PackedPartition::from_partition(eps);
+        let packed: Vec<PackedPair> = basis
+            .iter()
+            .map(|(pi, tau)| PackedPair::from_pair(pi, tau))
+            .collect();
+        let (bound, seeds) = if config.branch_and_bound {
+            let bound = BoundTable::new(n, eps.num_blocks());
+            let mut scratch = PackedScratch::new();
+            let mut current = Cost::trivial(n);
+            let seeds = packed
+                .iter()
+                .map(|pair| {
+                    if meets_within(&pair.pi, &pair.tau, &eps_packed, &mut scratch) {
+                        current = current
+                            .min(normalized_cost(pair.pi.num_blocks(), pair.tau.num_blocks()));
+                    }
+                    current
+                })
+                .collect();
+            (Some(bound), seeds)
+        } else {
+            (None, Vec::new())
+        };
+        Self {
+            n,
+            eps: eps_packed,
+            basis: packed,
+            general_basis: basis,
+            config,
+            deadline,
+            bound,
+            seeds,
+        }
+    }
+
+    fn trivial_solution(&self) -> OstrSolution {
+        OstrSolution {
+            pi: Partition::identity(self.n),
+            tau: Partition::identity(self.n),
+            cost: Cost::trivial(self.n),
+        }
+    }
+}
+
+/// One explicit-stack frame: the arena depth of its κ and the next basis
+/// index to try as a child.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    depth: u32,
+    next: u32,
+}
+
+/// The best solution found so far within one subtree, kept packed so
+/// acceptance is two label-array copies.
+struct BestSlot {
+    cost: Cost,
+    has: bool,
+    pi: PackedPartition,
+    tau: PackedPartition,
+}
+
+/// Per-thread reusable search state: the κ arena, the DFS frame stack and
+/// the partition scratch.  All growth is high-water-marked, so steady-state
+/// subtree searches allocate nothing.
+pub(crate) struct Workspace {
+    scratch: PackedScratch,
+    arena: Vec<PackedPair>,
+    frames: Vec<Frame>,
+    best: BestSlot,
+}
+
+impl Workspace {
+    pub(crate) fn new(n: usize) -> Self {
+        Self {
+            scratch: PackedScratch::new(),
+            arena: Vec::new(),
+            frames: Vec::new(),
+            best: BestSlot {
+                cost: Cost::trivial(n.max(1)),
+                has: false,
+                pi: PackedPartition::identity(n),
+                tau: PackedPartition::identity(n),
+            },
+        }
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.frames.clear();
+        self.best.cost = Cost::trivial(n.max(1));
+        self.best.has = false;
+    }
+
+    fn ensure_depth(&mut self, depth: usize, n: usize) {
+        while self.arena.len() <= depth {
+            self.arena.push(PackedPair::identity(n));
+        }
+    }
+}
+
+/// The complete outcome of one subtree search.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SubtreeOutcome {
+    stats: EngineStats,
+    lb_hit: bool,
+    /// Best solution found in the subtree (normalized orientation), if any
+    /// candidate beat the trivial cost.
+    best: Option<(Cost, Partition, Partition)>,
+}
+
+/// Shared cancellation / work-skipping state for the parallel runner.  It
+/// never influences a merged result — only whether speculative work is
+/// started or abandoned — which is what keeps the parallel search
+/// deterministic.
+struct CancelState {
+    /// Smallest subtree index known to stop the search at the lower bound;
+    /// subtrees with larger indices will be discarded by the reduction.
+    lb_floor: AtomicUsize,
+    /// Best solution register-bit count found by any worker so far (the
+    /// shared incumbent).
+    best_bits: AtomicU32,
+}
+
+/// Budget/deadline check, mirroring the recursive implementation: the node
+/// budget is checked on every call, the wall clock only every 256 nodes.
+fn out_of_budget(stats: &mut EngineStats, budget: u64, deadline: Option<Instant>) -> bool {
+    if stats.nodes >= budget {
+        stats.exhausted = true;
+        return true;
+    }
+    if let Some(d) = deadline {
+        if stats.nodes.is_multiple_of(256) && Instant::now() >= d {
+            stats.exhausted = true;
+            return true;
+        }
+    }
+    false
+}
+
+/// Evaluates the candidate κ: counts it if it is a solution (`π ∩ τ ⊆ ε`)
+/// and accepts it into `best` on strict improvement.  Returns the Lemma 1
+/// criterion (`true` iff the intersection condition held).
+fn eval_candidate(
+    n: usize,
+    eps: &PackedPartition,
+    pair: &PackedPair,
+    scratch: &mut PackedScratch,
+    best: &mut BestSlot,
+    stats: &mut EngineStats,
+    lb_hit: &mut bool,
+) -> bool {
+    if !meets_within(&pair.pi, &pair.tau, eps, scratch) {
+        return false;
+    }
+    stats.solutions += 1;
+    let (c1, c2) = (pair.pi.num_blocks(), pair.tau.num_blocks());
+    let forward = Cost::new(c1, c2);
+    let backward = Cost::new(c2, c1);
+    let (cost, swapped) = if forward <= backward {
+        (forward, false)
+    } else {
+        (backward, true)
+    };
+    if cost < best.cost {
+        best.cost = cost;
+        best.has = true;
+        if swapped {
+            best.pi.copy_from(&pair.tau);
+            best.tau.copy_from(&pair.pi);
+        } else {
+            best.pi.copy_from(&pair.pi);
+            best.tau.copy_from(&pair.tau);
+        }
+        if c1 * c2 == n && cost.register_bits() == stc_fsm::ceil_log2(n) {
+            *lb_hit = true;
+        }
+    }
+    true
+}
+
+/// Searches the subtree rooted at the root's child `κ = basis[k0]`, visiting
+/// at most `budget` nodes.  Returns `None` only when `cancel` signalled that
+/// the result will be discarded by the reduction.
+fn search_subtree(
+    p: &SearchProblem<'_>,
+    ws: &mut Workspace,
+    k0: usize,
+    budget: u64,
+    cancel: Option<&CancelState>,
+) -> Option<SubtreeOutcome> {
+    let cfg = &p.config;
+    let mut out = SubtreeOutcome::default();
+    ws.reset(p.n);
+    let prune_seed = if p.bound.is_some() {
+        p.seeds[k0]
+    } else {
+        Cost::trivial(p.n)
+    };
+
+    if budget == 0 {
+        out.stats.exhausted = true;
+        return Some(out);
+    }
+    ws.ensure_depth(0, p.n);
+    ws.arena[0].copy_from(&p.basis[k0]);
+    out.stats.nodes = 1;
+    let meets = eval_candidate(
+        p.n,
+        &p.eps,
+        &ws.arena[0],
+        &mut ws.scratch,
+        &mut ws.best,
+        &mut out.stats,
+        &mut out.lb_hit,
+    );
+    let expand = if cfg.lemma1_pruning && !meets {
+        out.stats.pruned += 1;
+        false
+    } else {
+        !(out.lb_hit && cfg.stop_at_lower_bound)
+    };
+    if expand {
+        ws.frames.push(Frame {
+            depth: 0,
+            next: (k0 + 1) as u32,
+        });
+    }
+
+    let b_len = p.basis.len() as u32;
+    while !ws.frames.is_empty() {
+        let (depth, k) = {
+            let frame = ws.frames.last_mut().expect("non-empty");
+            if frame.next >= b_len {
+                ws.frames.pop();
+                continue;
+            }
+            let k = frame.next;
+            frame.next += 1;
+            (frame.depth as usize, k as usize)
+        };
+        if out_of_budget(&mut out.stats, budget, p.deadline) {
+            break;
+        }
+        if let Some(cancel) = cancel {
+            if out.stats.nodes.is_multiple_of(1024) && cancel.lb_floor.load(Ordering::Relaxed) < k0
+            {
+                return None; // this subtree will be discarded — stop early
+            }
+        }
+        let child = depth + 1;
+        ws.ensure_depth(child, p.n);
+        let (head, tail) = ws.arena.split_at_mut(child);
+        let child_pair = &mut tail[0];
+        child_pair.copy_from(&head[depth]);
+        if !child_pair.join_assign(&p.basis[k], &mut ws.scratch) {
+            // The basis element is already below κ; the child duplicates it.
+            continue;
+        }
+        if let Some(bound) = &p.bound {
+            let incumbent = if ws.best.has && ws.best.cost < prune_seed {
+                ws.best.cost
+            } else {
+                prune_seed
+            };
+            let beatable = bound
+                .lower(child_pair.pi.num_blocks(), child_pair.tau.num_blocks())
+                .is_some_and(|lb| lb < incumbent);
+            if !beatable {
+                out.stats.bound_pruned += 1;
+                continue;
+            }
+        }
+        out.stats.nodes += 1;
+        let meets = eval_candidate(
+            p.n,
+            &p.eps,
+            &tail[0],
+            &mut ws.scratch,
+            &mut ws.best,
+            &mut out.stats,
+            &mut out.lb_hit,
+        );
+        if cfg.lemma1_pruning && !meets {
+            out.stats.pruned += 1;
+            continue;
+        }
+        if out.lb_hit && cfg.stop_at_lower_bound {
+            continue;
+        }
+        ws.frames.push(Frame {
+            depth: child as u32,
+            next: (k + 1) as u32,
+        });
+    }
+
+    if ws.best.has {
+        out.best = Some((
+            ws.best.cost,
+            ws.best.pi.to_partition(),
+            ws.best.tau.to_partition(),
+        ));
+    }
+    Some(out)
+}
+
+/// The deterministic reduction: folds subtree outcomes in basis order,
+/// replaying the serial schedule exactly.
+///
+/// `provide` must return the outcome of subtree `k` searched with the given
+/// node budget; the serial runner computes it on the spot, the parallel
+/// runner serves a speculative full-budget result when it is provably
+/// equivalent and re-searches otherwise.
+fn merge_subtrees(
+    p: &SearchProblem<'_>,
+    ws: &mut Workspace,
+    mut provide: impl FnMut(usize, u64, &mut Workspace) -> SubtreeOutcome,
+) -> (OstrSolution, EngineStats) {
+    let cfg = &p.config;
+    let mut stats = EngineStats::default();
+    let mut best = p.trivial_solution();
+
+    // The root node: the empty subset, κ = (0, 0).  Its candidate is the
+    // trivial solution, which never strictly improves on itself.
+    if cfg.max_nodes == 0 {
+        stats.exhausted = true;
+        return (best, stats);
+    }
+    stats.nodes = 1;
+    stats.solutions = 1;
+
+    // After the lower bound has been reached (`stop_at_lower_bound`), the
+    // remaining top-level children are still evaluated as candidates but
+    // their subtrees are not expanded — mirroring the recursive search.
+    let mut tail_mode = false;
+    for k in 0..p.basis.len() {
+        if out_of_budget(&mut stats, cfg.max_nodes, p.deadline) {
+            break;
+        }
+        if tail_mode {
+            stats.nodes += 1;
+            let pair = &p.basis[k];
+            if meets_within(&pair.pi, &pair.tau, &p.eps, &mut ws.scratch) {
+                stats.solutions += 1;
+                let (c1, c2) = (pair.pi.num_blocks(), pair.tau.num_blocks());
+                let cost = normalized_cost(c1, c2);
+                if cost < best.cost {
+                    let (gp, gt) = &p.general_basis[k];
+                    let (pi, tau) = if Cost::new(c1, c2) <= Cost::new(c2, c1) {
+                        (gp.clone(), gt.clone())
+                    } else {
+                        (gt.clone(), gp.clone())
+                    };
+                    best = OstrSolution { pi, tau, cost };
+                }
+            } else if cfg.lemma1_pruning {
+                stats.pruned += 1;
+            }
+            continue;
+        }
+        if let Some(bound) = &p.bound {
+            let pair = &p.basis[k];
+            let beatable = bound
+                .lower(pair.pi.num_blocks(), pair.tau.num_blocks())
+                .is_some_and(|lb| lb < best.cost);
+            if !beatable {
+                stats.bound_pruned += 1;
+                continue;
+            }
+        }
+        let remaining = cfg.max_nodes - stats.nodes;
+        let outcome = provide(k, remaining, ws);
+        stats.nodes += outcome.stats.nodes;
+        stats.pruned += outcome.stats.pruned;
+        stats.bound_pruned += outcome.stats.bound_pruned;
+        stats.solutions += outcome.stats.solutions;
+        if let Some((cost, pi, tau)) = outcome.best {
+            if cost < best.cost {
+                best = OstrSolution { pi, tau, cost };
+            }
+        }
+        if outcome.stats.exhausted {
+            stats.exhausted = true;
+            break;
+        }
+        if outcome.lb_hit && cfg.stop_at_lower_bound {
+            tail_mode = true;
+        }
+    }
+    (best, stats)
+}
+
+/// Runs the full search: serial when `config.parallel_subtrees <= 1`,
+/// otherwise on scoped worker threads with the deterministic reduction.
+pub(crate) fn run_search(p: &SearchProblem<'_>) -> (OstrSolution, EngineStats) {
+    let jobs = p.config.parallel_subtrees.clamp(1, p.basis.len().max(1));
+    let mut ws = Workspace::new(p.n);
+    if jobs <= 1 {
+        return merge_subtrees(p, &mut ws, |k, budget, ws| {
+            search_subtree(p, ws, k, budget, None).expect("serial searches are never cancelled")
+        });
+    }
+
+    let slots: Vec<Mutex<Option<SubtreeOutcome>>> =
+        p.basis.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let cancel = CancelState {
+        lb_floor: AtomicUsize::new(usize::MAX),
+        best_bits: AtomicU32::new(Cost::trivial(p.n.max(1)).register_bits()),
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                let mut ws = Workspace::new(p.n);
+                loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= p.basis.len() {
+                        break;
+                    }
+                    if k > cancel.lb_floor.load(Ordering::Relaxed) {
+                        continue; // the reduction will discard this subtree
+                    }
+                    if let Some(bound) = &p.bound {
+                        // Shared-incumbent work skipping: if even the
+                        // subtree root's bound cannot beat the best
+                        // register-bit count any worker has published, the
+                        // reduction will almost surely prune it; skipping is
+                        // safe because the reduction re-searches on demand.
+                        let pair = &p.basis[k];
+                        let hopeless = bound
+                            .lower(pair.pi.num_blocks(), pair.tau.num_blocks())
+                            .is_none_or(|lb| {
+                                lb.register_bits() > cancel.best_bits.load(Ordering::Relaxed)
+                            });
+                        if hopeless {
+                            continue;
+                        }
+                    }
+                    let outcome = search_subtree(p, &mut ws, k, p.config.max_nodes, Some(&cancel));
+                    if let Some(outcome) = outcome {
+                        if let Some((cost, _, _)) = &outcome.best {
+                            cancel
+                                .best_bits
+                                .fetch_min(cost.register_bits(), Ordering::Relaxed);
+                        }
+                        if outcome.lb_hit && p.config.stop_at_lower_bound {
+                            cancel.lb_floor.fetch_min(k, Ordering::Relaxed);
+                        }
+                        *slots[k].lock().expect("no panics while holding lock") = Some(outcome);
+                    }
+                }
+            });
+        }
+    });
+
+    merge_subtrees(p, &mut ws, |k, budget, ws| {
+        let cached = slots[k].lock().expect("worker threads joined").take();
+        match cached {
+            // A speculative full-budget result is equivalent to the serial
+            // one iff it finished naturally strictly inside the serial
+            // budget: every budget/deadline check it performed then sees the
+            // same verdict either way.
+            Some(outcome) if !outcome.stats.exhausted && outcome.stats.nodes < budget => outcome,
+            _ => search_subtree(p, ws, k, budget, None)
+                .expect("reduction searches are never cancelled"),
+        }
+    })
+}

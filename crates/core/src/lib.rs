@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod cost;
+mod engine;
 mod error;
 mod naive;
 mod realization;

@@ -77,6 +77,50 @@ proptest! {
     }
 
     #[test]
+    fn branch_and_bound_never_changes_the_solution(machine in arb_machine()) {
+        let base = SolverConfig {
+            max_nodes: 50_000,
+            time_limit: None,
+            ..SolverConfig::default()
+        };
+        let with = OstrSolver::new(SolverConfig { branch_and_bound: true, ..base }).solve(&machine);
+        let without = OstrSolver::new(SolverConfig { branch_and_bound: false, ..base }).solve(&machine);
+        if !without.stats.budget_exhausted {
+            // Not merely the cost: the bound may only discard subtrees that
+            // cannot beat an earlier incumbent, so the reported pair is the
+            // same partition pair.
+            prop_assert_eq!(with.best, without.best);
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_searches_are_identical(
+        machine in arb_machine(),
+        jobs in 2usize..9,
+        bnb in any::<bool>(),
+        stop in any::<bool>(),
+        budget_choice in 0usize..4,
+    ) {
+        let max_nodes = [3u64, 40, 1_000, 50_000][budget_choice];
+        // The deterministic reduction must make worker count unobservable:
+        // solution *and* statistics agree for any budget and configuration.
+        let config = SolverConfig {
+            max_nodes,
+            time_limit: None,
+            stop_at_lower_bound: stop,
+            branch_and_bound: bnb,
+            ..SolverConfig::default()
+        };
+        let serial = OstrSolver::new(config).solve(&machine);
+        let parallel = OstrSolver::new(SolverConfig { parallel_subtrees: jobs, ..config }).solve(&machine);
+        prop_assert_eq!(&serial.best, &parallel.best);
+        let (mut s, mut p) = (serial.stats, parallel.stats);
+        s.elapsed_micros = 0;
+        p.elapsed_micros = 0;
+        prop_assert_eq!(s, p);
+    }
+
+    #[test]
     fn trivial_realization_always_verifies(machine in arb_machine()) {
         let n = machine.num_states();
         let id = Partition::identity(n);

@@ -1,4 +1,4 @@
-//! The depth-first OSTR search procedure of section 3 of the paper.
+//! The pruned OSTR search procedure of section 3 of the paper.
 //!
 //! The search space is the tree of subsets of the ordered basis
 //! `𝔐 = { symmetric_pair_closure(s, t) }` — the smallest symmetric partition
@@ -11,31 +11,59 @@
 //! when `κ_π ∩ κ_τ ⊆ ε`.  When that criterion fails, the whole subtree is
 //! discarded (the paper's Lemma 1): joins only coarsen both components, so
 //! the intersection only grows along tree edges.
+//!
+//! The search core (see the `engine` module and `DESIGN.md` §5) is an
+//! iterative, explicit-stack branch-and-bound over an arena of packed
+//! κ-pairs: no recursion, no per-node allocation.  On top of Lemma 1 it
+//! prunes subtrees whose cost lower bound cannot beat the incumbent
+//! ([`SolverConfig::branch_and_bound`]) and can explore the root's subtrees
+//! on scoped worker threads ([`SolverConfig::parallel_subtrees`]) with a
+//! deterministic reduction, so results — solution *and* statistics — are
+//! byte-identical to a serial run.
 
 use crate::cost::Cost;
+use crate::engine;
 use crate::realization::Realization;
 use serde::{Deserialize, Serialize};
 use stc_fsm::{state_equivalence, Mealy};
 use stc_partition::{symmetric_basis, Partition};
 use std::time::{Duration, Instant};
 
-/// Configuration of the OSTR depth-first search.
+/// Configuration of the OSTR search.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SolverConfig {
     /// Maximum number of search-tree nodes to investigate before giving up
     /// and returning the best solution found so far (the paper's time limit
     /// for `tbk` plays the same role).
     pub max_nodes: u64,
-    /// Optional wall-clock limit.
+    /// Optional wall-clock limit.  Unlike the node budget this makes results
+    /// depend on machine speed; leave `None` for reproducible statistics.
     pub time_limit: Option<Duration>,
     /// Enable the Lemma 1 pruning (disable only for the ablation benchmark —
     /// the search is exponential without it).
     pub lemma1_pruning: bool,
     /// Stop as soon as a solution reaching the information-theoretic lower
-    /// bound `|S1| · |S2| = |S|` with balanced factors is found.  This does
-    /// not change the result for any machine in the benchmark suite but
-    /// shortens the search for machines like `shiftreg`/`tav`.
+    /// bound `|S1| · |S2| = |S|` with balanced factors is found.  This is a
+    /// heuristic early stop: it does not change the result for any machine
+    /// in the benchmark suite but shortens the search for machines like
+    /// `shiftreg`/`tav`.  In exact-cost-tie corners (possible only when
+    /// distinct factor pairs tie in both register bits and balance) it can
+    /// stop at a different equally-ranked solution than an exhaustive run —
+    /// see `DESIGN.md` §5.
     pub stop_at_lower_bound: bool,
+    /// Enable the branch-and-bound layer: subtrees whose cost lower bound
+    /// cannot strictly beat the incumbent are discarded before they are
+    /// visited.  With `stop_at_lower_bound` off (the default) this never
+    /// changes the reported solution, only `nodes_investigated` /
+    /// `solutions_found` and the `subtrees_bound_pruned` counter; with the
+    /// early stop on, the exact-cost-tie caveat of that flag applies to the
+    /// combination too (see `DESIGN.md` §5).
+    pub branch_and_bound: bool,
+    /// Number of worker threads for exploring the root's subtrees
+    /// (`<= 1` selects the serial path).  The parallel reduction is
+    /// deterministic: solution and statistics are byte-identical to a
+    /// serial run with the same configuration.
+    pub parallel_subtrees: usize,
 }
 
 impl Default for SolverConfig {
@@ -45,6 +73,8 @@ impl Default for SolverConfig {
             time_limit: Some(Duration::from_secs(30)),
             lemma1_pruning: true,
             stop_at_lower_bound: false,
+            branch_and_bound: true,
+            parallel_subtrees: 1,
         }
     }
 }
@@ -58,6 +88,9 @@ pub struct SearchStats {
     pub nodes_investigated: u64,
     /// Number of subtrees discarded by the Lemma 1 criterion.
     pub subtrees_pruned: u64,
+    /// Number of subtrees discarded by the branch-and-bound cost lower
+    /// bound before being visited (0 when the layer is disabled).
+    pub subtrees_bound_pruned: u64,
     /// Number of candidate pairs that were accepted as OSTR solutions
     /// (improving or not).
     pub solutions_found: u64,
@@ -141,17 +174,6 @@ pub struct OstrSolver {
     config: SolverConfig,
 }
 
-struct SearchContext<'a> {
-    machine: &'a Mealy,
-    eps: Partition,
-    basis: Vec<(Partition, Partition)>,
-    config: SolverConfig,
-    deadline: Option<Instant>,
-    stats: SearchStats,
-    best: OstrSolution,
-    lower_bound_hit: bool,
-}
-
 impl OstrSolver {
     /// Creates a solver with the given configuration.
     #[must_use]
@@ -171,7 +193,7 @@ impl OstrSolver {
         &self.config
     }
 
-    /// Runs the depth-first OSTR search on `machine`.
+    /// Runs the branch-and-bound OSTR search on `machine`.
     ///
     /// The search always terminates with a valid solution because the trivial
     /// doubling pair `(identity, identity)` is a solution of OSTR (the
@@ -182,135 +204,19 @@ impl OstrSolver {
         let n = machine.num_states();
         let eps = state_equivalence(machine);
         let basis = symmetric_basis(machine);
-        let trivial = OstrSolution {
-            pi: Partition::identity(n),
-            tau: Partition::identity(n),
-            cost: Cost::trivial(n),
+        let deadline = self.config.time_limit.map(|d| start + d);
+        let problem = engine::SearchProblem::new(n, &eps, &basis, self.config, deadline);
+        let (best, engine_stats) = engine::run_search(&problem);
+        let stats = SearchStats {
+            basis_size: basis.len(),
+            nodes_investigated: engine_stats.nodes,
+            subtrees_pruned: engine_stats.pruned,
+            subtrees_bound_pruned: engine_stats.bound_pruned,
+            solutions_found: engine_stats.solutions,
+            budget_exhausted: engine_stats.exhausted,
+            elapsed_micros: start.elapsed().as_micros() as u64,
         };
-        let mut ctx = SearchContext {
-            machine,
-            eps,
-            basis,
-            config: self.config,
-            deadline: self.config.time_limit.map(|d| start + d),
-            stats: SearchStats::default(),
-            best: trivial,
-            lower_bound_hit: false,
-        };
-        ctx.stats.basis_size = ctx.basis.len();
-
-        // The root node is the empty subset: κ = (identity, identity).
-        // Evaluating it re-discovers the trivial solution; its children are
-        // the singleton subsets, explored in basis order.
-        let root = (Partition::identity(n), Partition::identity(n));
-        ctx.visit(&root, 0);
-
-        ctx.stats.elapsed_micros = start.elapsed().as_micros() as u64;
-        OstrOutcome {
-            best: ctx.best,
-            stats: ctx.stats,
-        }
-    }
-}
-
-impl SearchContext<'_> {
-    /// Visits the node whose κ is `kappa`, then recurses into children that
-    /// extend the subset with basis elements of index `>= next_index`.
-    fn visit(&mut self, kappa: &(Partition, Partition), next_index: usize) {
-        if self.out_of_budget() {
-            return;
-        }
-        self.stats.nodes_investigated += 1;
-
-        // Every node is a symmetric pair by construction (joins of symmetric
-        // pairs are symmetric pairs); it is a solution iff κ_π ∩ κ_τ ⊆ ε.
-        let meets_eps = self.try_candidate(kappa);
-        // Lemma 1: if κ_π ∩ κ_τ ⊄ ε then the same holds for every successor,
-        // because joining only coarsens both components and therefore the
-        // intersection; the subtree is discarded.
-        if self.config.lemma1_pruning && !meets_eps {
-            self.stats.subtrees_pruned += 1;
-            return;
-        }
-        if self.lower_bound_hit && self.config.stop_at_lower_bound {
-            return;
-        }
-
-        for k in next_index..self.basis.len() {
-            if self.out_of_budget() {
-                return;
-            }
-            let (b_pi, b_tau) = &self.basis[k];
-            let child = (
-                kappa
-                    .0
-                    .join(b_pi)
-                    .expect("basis partitions share the machine's ground set"),
-                kappa
-                    .1
-                    .join(b_tau)
-                    .expect("basis partitions share the machine's ground set"),
-            );
-            if &child == kappa {
-                // The basis element is already contained in κ; the child node
-                // is identical and exploring it would only duplicate work.
-                continue;
-            }
-            self.visit(&child, k + 1);
-        }
-    }
-
-    /// Evaluates the node's pair `(κ_π, κ_τ)`; records it as a solution if
-    /// `κ_π ∩ κ_τ ⊆ ε` (the pair is symmetric by construction).  Returns
-    /// whether the intersection condition held (the Lemma 1 criterion).
-    fn try_candidate(&mut self, kappa: &(Partition, Partition)) -> bool {
-        let (pi, tau) = kappa;
-        let meets_eps = pi
-            .intersection_within(tau, &self.eps)
-            .expect("partitions share the machine's ground set");
-        if !meets_eps {
-            return false;
-        }
-        self.stats.solutions_found += 1;
-        // The pair is symmetric, so either orientation yields a realization;
-        // pick the one with the better (more balanced) cost.
-        let forward = Cost::new(pi.num_blocks(), tau.num_blocks());
-        let backward = Cost::new(tau.num_blocks(), pi.num_blocks());
-        let (cost, first, second) = if forward <= backward {
-            (forward, pi, tau)
-        } else {
-            (backward, tau, pi)
-        };
-        if cost < self.best.cost {
-            self.best = OstrSolution {
-                pi: first.clone(),
-                tau: second.clone(),
-                cost,
-            };
-            let n = self.machine.num_states();
-            if first.num_blocks() * second.num_blocks() == n
-                && cost.register_bits() == stc_fsm::ceil_log2(n)
-            {
-                self.lower_bound_hit = true;
-            }
-        }
-        true
-    }
-
-    fn out_of_budget(&mut self) -> bool {
-        if self.stats.nodes_investigated >= self.config.max_nodes {
-            self.stats.budget_exhausted = true;
-            return true;
-        }
-        if let Some(deadline) = self.deadline {
-            // Only check the clock every few hundred nodes to keep the hot
-            // path cheap.
-            if self.stats.nodes_investigated.is_multiple_of(256) && Instant::now() >= deadline {
-                self.stats.budget_exhausted = true;
-                return true;
-            }
-        }
-        false
+        OstrOutcome { best, stats }
     }
 }
 
@@ -398,6 +304,128 @@ mod tests {
                 pruned.stats.nodes_investigated <= unpruned.stats.nodes_investigated,
                 "{name}: pruning must not increase the node count"
             );
+        }
+    }
+
+    #[test]
+    fn branch_and_bound_preserves_the_solution_exactly() {
+        for name in ["dk27", "dk512", "shiftreg", "bbara", "tav"] {
+            let m = benchmarks::by_name(name).unwrap().machine;
+            let base = SolverConfig {
+                max_nodes: 100_000,
+                time_limit: None,
+                stop_at_lower_bound: true,
+                ..SolverConfig::default()
+            };
+            let with = OstrSolver::new(SolverConfig {
+                branch_and_bound: true,
+                ..base
+            })
+            .solve(&m);
+            let without = OstrSolver::new(SolverConfig {
+                branch_and_bound: false,
+                ..base
+            })
+            .solve(&m);
+            // The bound may only discard subtrees that cannot improve on an
+            // earlier incumbent, so the reported solution — not just its
+            // cost — is identical.
+            assert_eq!(with.best, without.best, "{name}");
+            assert!(
+                with.stats.nodes_investigated <= without.stats.nodes_investigated,
+                "{name}: the bound must not increase the node count"
+            );
+            assert_eq!(without.stats.subtrees_bound_pruned, 0, "{name}");
+        }
+    }
+
+    /// The iterative engine with branch and bound disabled is a faithful
+    /// rewrite of the recursive reference implementation: it must reproduce
+    /// that solver's statistics *exactly*.  The expected values are the
+    /// numbers the recursive solver produced for the embedded suite under
+    /// the pipeline configuration (committed in PR 2's golden report).
+    #[test]
+    fn legacy_search_statistics_are_reproduced_exactly() {
+        // (machine, basis_size, nodes_investigated, subtrees_pruned)
+        let expected = [
+            ("bbara", 67, 12_535, 10_788),
+            ("dk27", 33, 453, 348),
+            ("dk512", 9, 24, 13),
+            ("shiftreg", 32, 58, 22),
+            ("tav", 3, 4, 1),
+            ("tbk", 73, 52_711, 47_294),
+        ];
+        for (name, basis, nodes, pruned) in expected {
+            let m = benchmarks::by_name(name).unwrap().machine;
+            let outcome = OstrSolver::new(SolverConfig {
+                max_nodes: 100_000,
+                time_limit: None,
+                lemma1_pruning: true,
+                stop_at_lower_bound: true,
+                branch_and_bound: false,
+                parallel_subtrees: 1,
+            })
+            .solve(&m);
+            assert_eq!(outcome.stats.basis_size, basis, "{name}");
+            assert_eq!(outcome.stats.nodes_investigated, nodes, "{name}");
+            assert_eq!(outcome.stats.subtrees_pruned, pruned, "{name}");
+            assert!(!outcome.stats.budget_exhausted, "{name}");
+        }
+    }
+
+    #[test]
+    fn parallel_subtrees_match_serial_exactly() {
+        for name in ["bbara", "dk27", "shiftreg", "tbk"] {
+            let m = benchmarks::by_name(name).unwrap().machine;
+            for (bnb, stop) in [(true, true), (true, false), (false, true)] {
+                let config = SolverConfig {
+                    max_nodes: 100_000,
+                    time_limit: None,
+                    stop_at_lower_bound: stop,
+                    branch_and_bound: bnb,
+                    ..SolverConfig::default()
+                };
+                let serial = OstrSolver::new(config).solve(&m);
+                for jobs in [2, 4, 16] {
+                    let parallel = OstrSolver::new(SolverConfig {
+                        parallel_subtrees: jobs,
+                        ..config
+                    })
+                    .solve(&m);
+                    assert_eq!(serial.best, parallel.best, "{name} jobs={jobs}");
+                    // Everything except the wall clock must be identical.
+                    let mut s = serial.stats;
+                    let mut p = parallel.stats;
+                    s.elapsed_micros = 0;
+                    p.elapsed_micros = 0;
+                    assert_eq!(s, p, "{name} jobs={jobs} bnb={bnb} stop={stop}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_reduction_respects_a_tight_node_budget() {
+        let m = benchmarks::by_name("bbara").unwrap().machine;
+        for max_nodes in [1, 2, 17, 300, 5_000] {
+            let config = SolverConfig {
+                max_nodes,
+                time_limit: None,
+                stop_at_lower_bound: true,
+                ..SolverConfig::default()
+            };
+            let serial = OstrSolver::new(config).solve(&m);
+            let parallel = OstrSolver::new(SolverConfig {
+                parallel_subtrees: 4,
+                ..config
+            })
+            .solve(&m);
+            assert_eq!(serial.best, parallel.best, "max_nodes={max_nodes}");
+            let mut s = serial.stats;
+            let mut p = parallel.stats;
+            s.elapsed_micros = 0;
+            p.elapsed_micros = 0;
+            assert_eq!(s, p, "max_nodes={max_nodes}");
         }
     }
 

@@ -108,6 +108,15 @@ impl DisjointSets {
     pub fn labels(&mut self) -> Vec<usize> {
         (0..self.len()).map(|x| self.find(x)).collect()
     }
+
+    /// Resets the structure to `n` singleton sets, reusing the allocations.
+    pub fn reset(&mut self, n: usize) {
+        self.parent.clear();
+        self.parent.extend(0..n);
+        self.rank.clear();
+        self.rank.resize(n, 0);
+        self.num_sets = n;
+    }
 }
 
 #[cfg(test)]

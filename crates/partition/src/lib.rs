@@ -27,6 +27,11 @@
 //! * [`MmPair`] and [`basis_partitions`] — Mm-pairs and the basis relations
 //!   `m(ρ_{s,t})` from which the whole Mm-lattice can be generated.
 //!
+//! For the solver hot path the crate additionally provides packed,
+//! allocation-free kernels — [`PackedPartition`], [`PackedPair`],
+//! [`PackedScratch`] and [`meets_within`] — with in-place joins and `O(n)`
+//! refinement/ε-containment checks; see the `packed` module docs.
+//!
 //! # Example
 //!
 //! The 4-state machine of Fig. 5 of the paper has the symmetric partition pair
@@ -59,6 +64,7 @@
 mod dsu;
 mod error;
 mod lattice;
+mod packed;
 mod pairs;
 mod partition;
 
@@ -68,6 +74,7 @@ pub use lattice::{
     basis_partitions, enumerate_partitions, mm_pairs, symmetric_basis, symmetric_pair_closure,
     MmPair,
 };
+pub use packed::{meets_within, PackedPair, PackedPartition, PackedScratch};
 pub use pairs::{
     big_m_operator, is_partition_pair, is_symmetric_pair, m_operator, pair_identifying, Transitions,
 };

@@ -1,0 +1,478 @@
+//! Packed, allocation-free partition kernels for the OSTR search hot path.
+//!
+//! The [`crate::Partition`] type is the canonical, self-describing
+//! representation: it owns its sorted block lists and every lattice operation
+//! allocates a fresh result.  That is the right shape for APIs and tests, but
+//! the depth-first OSTR search in `stc-synth` performs one join and one
+//! `π ∩ τ ⊆ ε` check *per search-tree node*, and the allocation traffic of
+//! the general representation dominates the solver's runtime.
+//!
+//! This module provides the packed counterpart used by that hot path:
+//!
+//! * [`PackedPartition`] — a partition stored as one canonical label per
+//!   element (`u32` labels, numbered in order of each block's smallest
+//!   element, exactly like [`crate::Partition`]'s block ids);
+//! * [`PackedPair`] — a partition pair `(π, τ)`, the κ of a search node;
+//! * [`PackedScratch`] — the reusable workspace (union–find arrays, `u64`-word
+//!   bitset blocks and stamped label maps) that makes every operation
+//!   allocation-free after the first call at a given ground-set size.
+//!
+//! All operations are loops over flat `u32`/`u64` words — no hashing, no
+//! per-call `Vec`s — and [`PackedPartition::join_assign`] works *in place* so
+//! a search arena can reuse its slots.  The semantics are pinned to the
+//! general implementation by the property tests in `proptests.rs`
+//! (`join_assign` ⇔ [`crate::Partition::join`], [`PackedPartition::is_refinement_of`] ⇔
+//! [`crate::Partition::refines`], [`meets_within`] ⇔
+//! [`crate::Partition::intersection_within`]).
+
+use crate::partition::Partition;
+
+/// A fixed-capacity bitset over `u64` words, used to mark visited block ids
+/// without clearing (or allocating) one byte per id.
+#[derive(Debug, Default, Clone)]
+struct BitWords {
+    words: Vec<u64>,
+}
+
+impl BitWords {
+    /// Clears the first `len` bits (rounded up to whole words), growing the
+    /// backing storage if needed.
+    fn clear(&mut self, len: usize) {
+        let words = len.div_ceil(64);
+        if self.words.len() < words {
+            self.words.resize(words, 0);
+        }
+        for w in &mut self.words[..words] {
+            *w = 0;
+        }
+    }
+
+    /// Sets bit `i`; returns `true` if it was already set.
+    fn test_and_set(&mut self, i: usize) -> bool {
+        let (word, bit) = (i / 64, 1u64 << (i % 64));
+        let was = self.words[word] & bit != 0;
+        self.words[word] |= bit;
+        was
+    }
+}
+
+/// Reusable scratch space for the packed partition operations.
+///
+/// One scratch serves any number of partitions; it grows to the largest
+/// ground set it has seen and every operation is allocation-free once the
+/// high-water mark is reached.  A scratch is cheap to create and is *not*
+/// tied to a particular partition.
+#[derive(Debug, Default, Clone)]
+pub struct PackedScratch {
+    /// Union–find parent array over the left operand's block ids.
+    parent: Vec<u32>,
+    /// Current union–find root for each right-operand block id.
+    first_root: Vec<u32>,
+    /// Which right-operand block ids have been seen (`first_root` validity).
+    first_seen: BitWords,
+    /// Compact relabelling of union–find roots.
+    relabel: Vec<u32>,
+    /// Which roots have been relabelled.
+    relabel_seen: BitWords,
+    /// Chain heads per π-block for [`meets_within`].
+    head: Vec<u32>,
+    /// Chain links per element for [`meets_within`].
+    next: Vec<u32>,
+    /// Stamp per τ-label (validity of `tau_first`).
+    tau_stamp: Vec<u32>,
+    /// First `within`-label seen for a τ-label inside the current π-block.
+    tau_first: Vec<u32>,
+    /// Current stamp epoch for `tau_stamp`.
+    epoch: u32,
+}
+
+impl PackedScratch {
+    /// Creates an empty scratch; storage grows on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.parent.len() < n {
+            self.parent.resize(n, 0);
+            self.first_root.resize(n, 0);
+            self.relabel.resize(n, 0);
+            self.head.resize(n, 0);
+            self.next.resize(n, 0);
+            self.tau_stamp.resize(n, 0);
+            self.tau_first.resize(n, 0);
+        }
+    }
+
+    /// Advances the τ-label stamp epoch, clearing the stamps on wrap-around.
+    fn next_epoch(&mut self) -> u32 {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            for s in &mut self.tau_stamp {
+                *s = 0;
+            }
+            self.epoch = 1;
+        }
+        self.epoch
+    }
+}
+
+/// Union–find `find` with path halving on a `u32` parent array.
+fn find(parent: &mut [u32], mut x: u32) -> u32 {
+    while parent[x as usize] != x {
+        let grand = parent[parent[x as usize] as usize];
+        parent[x as usize] = grand;
+        x = grand;
+    }
+    x
+}
+
+/// A partition of `{0, …, n-1}` packed as one canonical `u32` label per
+/// element.
+///
+/// Labels are block ids numbered in order of each block's smallest element,
+/// so `packed.label(x) == partition.block_of(x)` for the corresponding
+/// [`Partition`] and two packed partitions over the same ground set are equal
+/// as relations iff their label arrays are equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedPartition {
+    n: u32,
+    num_blocks: u32,
+    labels: Vec<u32>,
+}
+
+impl PackedPartition {
+    /// The identity (all-singleton) partition.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        Self {
+            n: n as u32,
+            num_blocks: n as u32,
+            labels: (0..n as u32).collect(),
+        }
+    }
+
+    /// Packs a general [`Partition`].
+    #[must_use]
+    pub fn from_partition(p: &Partition) -> Self {
+        let n = p.ground_set_size();
+        Self {
+            n: n as u32,
+            num_blocks: p.num_blocks() as u32,
+            labels: (0..n).map(|x| p.block_of(x) as u32).collect(),
+        }
+    }
+
+    /// Unpacks into a general [`Partition`].
+    #[must_use]
+    pub fn to_partition(&self) -> Partition {
+        let labels: Vec<usize> = self.labels.iter().map(|&l| l as usize).collect();
+        Partition::from_labels(&labels)
+    }
+
+    /// Size of the ground set.
+    #[must_use]
+    pub fn ground_set_size(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Number of blocks.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks as usize
+    }
+
+    /// The canonical block label of element `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is outside the ground set.
+    #[must_use]
+    pub fn label(&self, x: usize) -> u32 {
+        self.labels[x]
+    }
+
+    /// Overwrites `self` with a copy of `other` (same ground set), reusing
+    /// the existing label storage.
+    pub fn copy_from(&mut self, other: &Self) {
+        debug_assert_eq!(self.n, other.n, "ground sets must match");
+        self.num_blocks = other.num_blocks;
+        self.labels.copy_from_slice(&other.labels);
+    }
+
+    /// In-place join: replaces `self` with `self ∨ other` (the transitive
+    /// closure of the union of the two relations).  Returns `true` if the
+    /// partition changed — because a join only coarsens, `false` means
+    /// `other` already refines `self`.
+    ///
+    /// Allocation-free once `scratch` has reached the ground-set size.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) if the ground sets differ.
+    pub fn join_assign(&mut self, other: &Self, scratch: &mut PackedScratch) -> bool {
+        debug_assert_eq!(self.n, other.n, "ground sets must match");
+        let n = self.n as usize;
+        scratch.ensure(n);
+        let old_blocks = self.num_blocks;
+        for b in 0..old_blocks {
+            scratch.parent[b as usize] = b;
+        }
+        scratch.first_seen.clear(other.num_blocks as usize);
+        // Union the self-blocks bridged by each block of `other`.
+        for x in 0..n {
+            let ol = other.labels[x] as usize;
+            let root = find(&mut scratch.parent, self.labels[x]);
+            if scratch.first_seen.test_and_set(ol) {
+                let prev = find(&mut scratch.parent, scratch.first_root[ol]);
+                if prev != root {
+                    scratch.parent[prev as usize] = root;
+                }
+                scratch.first_root[ol] = root;
+            } else {
+                scratch.first_root[ol] = root;
+            }
+        }
+        // Compact relabelling in first-occurrence order, which preserves the
+        // canonical numbering (blocks ordered by smallest element).
+        scratch.relabel_seen.clear(old_blocks as usize);
+        let mut next_label = 0u32;
+        for x in 0..n {
+            let root = find(&mut scratch.parent, self.labels[x]);
+            if !scratch.relabel_seen.test_and_set(root as usize) {
+                scratch.relabel[root as usize] = next_label;
+                next_label += 1;
+            }
+            self.labels[x] = scratch.relabel[root as usize];
+        }
+        self.num_blocks = next_label;
+        next_label != old_blocks
+    }
+
+    /// Returns `true` if `self` refines `other` (`self ≤ other`): every block
+    /// of `self` lies inside a block of `other`.  Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) if the ground sets differ.
+    pub fn is_refinement_of(&self, other: &Self, scratch: &mut PackedScratch) -> bool {
+        debug_assert_eq!(self.n, other.n, "ground sets must match");
+        let n = self.n as usize;
+        scratch.ensure(n);
+        scratch.relabel_seen.clear(self.num_blocks as usize);
+        for x in 0..n {
+            let b = self.labels[x] as usize;
+            if scratch.relabel_seen.test_and_set(b) {
+                if scratch.relabel[b] != other.labels[x] {
+                    return false;
+                }
+            } else {
+                scratch.relabel[b] = other.labels[x];
+            }
+        }
+        true
+    }
+}
+
+/// Returns `true` if `π ∩ τ ⊆ within` — the Theorem 1 / Lemma 1 criterion
+/// `π ∩ τ ⊆ ε` of the paper — without materialising the meet.
+///
+/// Equivalent to `pi.meet(&tau)?.refines(within)` on the general
+/// representation: elements sharing both a π-block and a τ-block must share a
+/// `within`-block.  Runs in `O(n)` and is allocation-free once `scratch` has
+/// reached the ground-set size.
+///
+/// # Panics
+///
+/// Panics (debug assertion) if the ground sets differ.
+pub fn meets_within(
+    pi: &PackedPartition,
+    tau: &PackedPartition,
+    within: &PackedPartition,
+    scratch: &mut PackedScratch,
+) -> bool {
+    debug_assert_eq!(pi.n, tau.n, "ground sets must match");
+    debug_assert_eq!(pi.n, within.n, "ground sets must match");
+    let n = pi.n as usize;
+    scratch.ensure(n);
+    const NONE: u32 = u32::MAX;
+    let blocks = pi.num_blocks as usize;
+    scratch.head[..blocks].fill(NONE);
+    // Thread the elements of each π-block onto a chain (ascending order).
+    for x in (0..n).rev() {
+        let b = pi.labels[x] as usize;
+        scratch.next[x] = scratch.head[b];
+        scratch.head[b] = x as u32;
+    }
+    for b in 0..blocks {
+        let epoch = scratch.next_epoch();
+        let mut x = scratch.head[b];
+        while x != NONE {
+            let tl = tau.labels[x as usize] as usize;
+            let wl = within.labels[x as usize];
+            if scratch.tau_stamp[tl] == epoch {
+                // Another element of this π-block shares the τ-block; the
+                // meet relates them, so they must share a `within`-block.
+                if scratch.tau_first[tl] != wl {
+                    return false;
+                }
+            } else {
+                scratch.tau_stamp[tl] = epoch;
+                scratch.tau_first[tl] = wl;
+            }
+            x = scratch.next[x as usize];
+        }
+    }
+    true
+}
+
+/// A packed partition pair `(π, τ)` — the κ of an OSTR search node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedPair {
+    /// The first component `π`.
+    pub pi: PackedPartition,
+    /// The second component `τ`.
+    pub tau: PackedPartition,
+}
+
+impl PackedPair {
+    /// The identity pair `(0, 0)` — the κ of the search root.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        Self {
+            pi: PackedPartition::identity(n),
+            tau: PackedPartition::identity(n),
+        }
+    }
+
+    /// Packs a general pair.
+    #[must_use]
+    pub fn from_pair(pi: &Partition, tau: &Partition) -> Self {
+        Self {
+            pi: PackedPartition::from_partition(pi),
+            tau: PackedPartition::from_partition(tau),
+        }
+    }
+
+    /// Overwrites `self` with a copy of `other` (same ground set).
+    pub fn copy_from(&mut self, other: &Self) {
+        self.pi.copy_from(&other.pi);
+        self.tau.copy_from(&other.tau);
+    }
+
+    /// In-place component-wise join with `other`.  Returns `true` if either
+    /// component changed (i.e. the joined pair differs from `self`).
+    pub fn join_assign(&mut self, other: &Self, scratch: &mut PackedScratch) -> bool {
+        let pi_changed = self.pi.join_assign(&other.pi, scratch);
+        let tau_changed = self.tau.join_assign(&other.tau, scratch);
+        pi_changed || tau_changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parts(blocks: &[&[usize]], n: usize) -> Partition {
+        Partition::from_blocks(n, &blocks.iter().map(|b| b.to_vec()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_canonical_labels() {
+        let p = parts(&[&[0, 2], &[1, 4], &[3]], 5);
+        let packed = PackedPartition::from_partition(&p);
+        assert_eq!(packed.num_blocks(), 3);
+        for x in 0..5 {
+            assert_eq!(packed.label(x) as usize, p.block_of(x));
+        }
+        assert_eq!(packed.to_partition(), p);
+    }
+
+    #[test]
+    fn join_assign_matches_the_general_join() {
+        let a = parts(&[&[0, 1], &[2], &[3], &[4]], 5);
+        let b = parts(&[&[1, 2], &[0], &[3, 4]], 5);
+        let mut packed = PackedPartition::from_partition(&a);
+        let mut scratch = PackedScratch::new();
+        let changed = packed.join_assign(&PackedPartition::from_partition(&b), &mut scratch);
+        assert!(changed);
+        assert_eq!(packed.to_partition(), a.join(&b).unwrap());
+    }
+
+    #[test]
+    fn join_assign_reports_no_change_for_refinements() {
+        let coarse = parts(&[&[0, 1, 2], &[3]], 4);
+        let fine = parts(&[&[0, 1], &[2], &[3]], 4);
+        let mut packed = PackedPartition::from_partition(&coarse);
+        let mut scratch = PackedScratch::new();
+        assert!(!packed.join_assign(&PackedPartition::from_partition(&fine), &mut scratch));
+        assert_eq!(packed.to_partition(), coarse);
+    }
+
+    #[test]
+    fn refinement_matches_the_general_order() {
+        let fine = parts(&[&[0, 1], &[2], &[3]], 4);
+        let coarse = parts(&[&[0, 1, 2], &[3]], 4);
+        let other = parts(&[&[0, 3], &[1, 2]], 4);
+        let mut scratch = PackedScratch::new();
+        let pf = PackedPartition::from_partition(&fine);
+        let pc = PackedPartition::from_partition(&coarse);
+        let po = PackedPartition::from_partition(&other);
+        assert!(pf.is_refinement_of(&pc, &mut scratch));
+        assert!(!pc.is_refinement_of(&pf, &mut scratch));
+        assert!(!pf.is_refinement_of(&po, &mut scratch));
+        assert!(pf.is_refinement_of(&pf.clone(), &mut scratch));
+    }
+
+    #[test]
+    fn meets_within_matches_intersection_within() {
+        let pi = parts(&[&[0, 1], &[2, 3]], 4);
+        let tau = parts(&[&[0, 3], &[1, 2]], 4);
+        let eps = Partition::identity(4);
+        let mut scratch = PackedScratch::new();
+        let (ppi, ptau, peps) = (
+            PackedPartition::from_partition(&pi),
+            PackedPartition::from_partition(&tau),
+            PackedPartition::from_partition(&eps),
+        );
+        assert!(meets_within(&ppi, &ptau, &peps, &mut scratch));
+        // π ∩ π = π ⊄ identity.
+        assert!(!meets_within(&ppi, &ppi, &peps, &mut scratch));
+        // Everything is contained in the universal relation.
+        let uni = PackedPartition::from_partition(&Partition::universal(4));
+        assert!(meets_within(&ppi, &ppi, &uni, &mut scratch));
+    }
+
+    #[test]
+    fn large_ground_sets_cross_word_boundaries() {
+        // 130 elements exercises the multi-word bitset paths.
+        let n = 130;
+        let even_odd: Vec<usize> = (0..n).map(|x| x % 2).collect();
+        let mod3: Vec<usize> = (0..n).map(|x| x % 3).collect();
+        let a = Partition::from_labels(&even_odd);
+        let b = Partition::from_labels(&mod3);
+        let mut packed = PackedPartition::from_partition(&a);
+        let mut scratch = PackedScratch::new();
+        packed.join_assign(&PackedPartition::from_partition(&b), &mut scratch);
+        assert_eq!(packed.to_partition(), a.join(&b).unwrap());
+        assert!(packed.to_partition().is_universal());
+    }
+
+    #[test]
+    fn pair_join_and_copy() {
+        let n = 4;
+        let b1 = PackedPair::from_pair(
+            &parts(&[&[0, 1], &[2], &[3]], n),
+            &parts(&[&[2, 3], &[0], &[1]], n),
+        );
+        let mut kappa = PackedPair::identity(n);
+        let mut scratch = PackedScratch::new();
+        assert!(kappa.join_assign(&b1, &mut scratch));
+        assert_eq!(kappa, b1);
+        assert!(!kappa.join_assign(&b1, &mut scratch));
+        let mut copy = PackedPair::identity(n);
+        copy.copy_from(&kappa);
+        assert_eq!(copy, kappa);
+    }
+}

@@ -102,6 +102,28 @@ impl Partition {
     #[must_use]
     pub fn from_labels(labels: &[usize]) -> Self {
         let n = labels.len();
+        // Fast path for bounded labels (union–find roots, canonical labels):
+        // a flat first-seen map avoids hashing every element.
+        if labels.iter().all(|&l| l < n) {
+            let mut first_seen = vec![usize::MAX; n];
+            let mut block_of = vec![0; n];
+            let mut blocks: Vec<Vec<usize>> = Vec::new();
+            for (x, &label) in labels.iter().enumerate() {
+                let mut b = first_seen[label];
+                if b == usize::MAX {
+                    b = blocks.len();
+                    first_seen[label] = b;
+                    blocks.push(Vec::new());
+                }
+                block_of[x] = b;
+                blocks[b].push(x);
+            }
+            return Self {
+                n,
+                block_of,
+                blocks,
+            };
+        }
         let mut first_seen: HashMap<usize, BlockId> = HashMap::new();
         let mut block_of = vec![0; n];
         let mut blocks: Vec<Vec<usize>> = Vec::new();

@@ -1,6 +1,7 @@
 //! Property-based tests for the partition lattice and the `m`/`M` operators.
 
 use crate::lattice::enumerate_partitions;
+use crate::packed::{meets_within, PackedPartition, PackedScratch};
 use crate::pairs::{big_m_operator, is_partition_pair, m_operator, Transitions};
 use crate::partition::Partition;
 use proptest::prelude::*;
@@ -150,6 +151,52 @@ proptest! {
         let coarser = pi.join(&Partition::from_pairs(machine.n, [(0, machine.n - 1)]).unwrap()).unwrap();
         prop_assert!(m_operator(&machine, &pi).refines(&m_operator(&machine, &coarser)));
         prop_assert!(big_m_operator(&machine, &pi).refines(&big_m_operator(&machine, &coarser)));
+    }
+
+    #[test]
+    fn packed_join_assign_agrees_with_the_general_join(labels_a in arb_labels(9), labels_b in arb_labels(9)) {
+        let a = Partition::from_labels(&labels_a);
+        let b = Partition::from_labels(&labels_b);
+        let mut packed = PackedPartition::from_partition(&a);
+        let mut scratch = PackedScratch::new();
+        let changed = packed.join_assign(&PackedPartition::from_partition(&b), &mut scratch);
+        let joined = a.join(&b).unwrap();
+        prop_assert_eq!(packed.to_partition(), joined.clone());
+        prop_assert_eq!(changed, joined != a);
+        // Canonical labels survive the in-place update.
+        for x in 0..9 {
+            prop_assert_eq!(packed.label(x) as usize, joined.block_of(x));
+        }
+    }
+
+    #[test]
+    fn packed_refinement_agrees_with_refines(labels_a in arb_labels(9), labels_b in arb_labels(9)) {
+        let a = Partition::from_labels(&labels_a);
+        let b = Partition::from_labels(&labels_b);
+        let mut scratch = PackedScratch::new();
+        let pa = PackedPartition::from_partition(&a);
+        let pb = PackedPartition::from_partition(&b);
+        prop_assert_eq!(pa.is_refinement_of(&pb, &mut scratch), a.refines(&b));
+        prop_assert_eq!(pb.is_refinement_of(&pa, &mut scratch), b.refines(&a));
+    }
+
+    #[test]
+    fn packed_meets_within_agrees_with_intersection_within(
+        labels_pi in arb_labels(8),
+        labels_tau in arb_labels(8),
+        labels_eps in arb_labels(8),
+    ) {
+        let pi = Partition::from_labels(&labels_pi);
+        let tau = Partition::from_labels(&labels_tau);
+        let eps = Partition::from_labels(&labels_eps);
+        let mut scratch = PackedScratch::new();
+        let packed = meets_within(
+            &PackedPartition::from_partition(&pi),
+            &PackedPartition::from_partition(&tau),
+            &PackedPartition::from_partition(&eps),
+            &mut scratch,
+        );
+        prop_assert_eq!(packed, pi.intersection_within(&tau, &eps).unwrap());
     }
 
     #[test]

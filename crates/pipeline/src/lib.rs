@@ -51,8 +51,8 @@ pub use corpus::{embedded_corpus, filter_by_names, kiss2_corpus, CorpusEntry};
 pub use error::PipelineError;
 pub use json::{Json, JsonError};
 pub use report::{
-    format_summary_table, BistReport, ConfigEcho, LogicReport, MachineReport, MachineStatus,
-    SessionReport, SolveReport, SuiteReport, SuiteSummary, REPORT_SCHEMA_VERSION,
+    format_summary_table, search_stats_json, BistReport, ConfigEcho, LogicReport, MachineReport,
+    MachineStatus, SessionReport, SolveReport, SuiteReport, SuiteSummary, REPORT_SCHEMA_VERSION,
 };
 pub use runner::{
     run_corpus, run_machine, GateLevelLimits, MachineTiming, PipelineConfig, SuiteRun,

@@ -12,7 +12,10 @@ use stc_fsm::benchmarks::{PaperTable1Row, PaperTable2Row};
 
 /// Version of the report schema, bumped on any breaking change to the JSON
 /// layout (documented in the README).
-pub const REPORT_SCHEMA_VERSION: u64 = 1;
+///
+/// v2: added `config.branch_and_bound` and `solve.subtrees_bound_pruned`
+/// for the branch-and-bound search core.
+pub const REPORT_SCHEMA_VERSION: u64 = 2;
 
 /// How far a machine travelled through the pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +66,8 @@ pub struct SolveReport {
     pub nodes_investigated: u64,
     /// Subtrees discarded by the Lemma 1 pruning.
     pub subtrees_pruned: u64,
+    /// Subtrees discarded by the branch-and-bound cost lower bound.
+    pub subtrees_bound_pruned: u64,
     /// Whether the deterministic node budget was exhausted.
     pub budget_exhausted: bool,
     /// Whether the Theorem 1 realization of the best solution verified
@@ -168,6 +173,8 @@ pub struct ConfigEcho {
     pub lemma1_pruning: bool,
     /// Whether the search stopped at the information-theoretic lower bound.
     pub stop_at_lower_bound: bool,
+    /// Whether the branch-and-bound pruning layer was enabled.
+    pub branch_and_bound: bool,
     /// Encoding strategy name.
     pub encoding: String,
     /// Whether two-level minimisation was enabled.
@@ -227,6 +234,7 @@ fn config_json(c: &ConfigEcho) -> Json {
             "stop_at_lower_bound".into(),
             Json::Bool(c.stop_at_lower_bound),
         ),
+        ("branch_and_bound".into(), Json::Bool(c.branch_and_bound)),
         ("encoding".into(), Json::String(c.encoding.clone())),
         ("minimize".into(), Json::Bool(c.minimize)),
         (
@@ -293,6 +301,10 @@ fn solve_json(s: &SolveReport) -> Json {
             Json::from_u64(s.nodes_investigated),
         ),
         ("subtrees_pruned".into(), Json::from_u64(s.subtrees_pruned)),
+        (
+            "subtrees_bound_pruned".into(),
+            Json::from_u64(s.subtrees_bound_pruned),
+        ),
         ("budget_exhausted".into(), Json::Bool(s.budget_exhausted)),
         (
             "realization_verified".into(),
@@ -380,6 +392,51 @@ fn summary_json(s: &SuiteSummary) -> Json {
             "pipeline_ff_total".into(),
             Json::from_u64(s.pipeline_ff_total),
         ),
+    ])
+}
+
+/// Extracts the per-machine search-effort statistics of a suite report as a
+/// compact, deterministic JSON document — the artefact behind the CI
+/// `search-stats` regression gate (`stc run --stats-out`, diffed against
+/// `tests/golden/search_stats.json`).
+///
+/// Wall-clock noise can hide a pruning regression from the perf gate; these
+/// counters cannot.  Machines without a solve section (timed out before the
+/// solver finished) are reported with a `null` entry so a disappearing
+/// machine also fails the diff.
+#[must_use]
+pub fn search_stats_json(report: &SuiteReport) -> Json {
+    let machines: Vec<Json> = report
+        .machines
+        .iter()
+        .map(|m| {
+            let mut entries = vec![("name".into(), Json::String(m.name.clone()))];
+            match &m.solve {
+                Some(s) => {
+                    entries.push(("basis_size".into(), Json::from_usize(s.basis_size)));
+                    entries.push((
+                        "nodes_investigated".into(),
+                        Json::from_u64(s.nodes_investigated),
+                    ));
+                    entries.push(("subtrees_pruned".into(), Json::from_u64(s.subtrees_pruned)));
+                    entries.push((
+                        "subtrees_bound_pruned".into(),
+                        Json::from_u64(s.subtrees_bound_pruned),
+                    ));
+                    entries.push(("budget_exhausted".into(), Json::Bool(s.budget_exhausted)));
+                }
+                None => entries.push(("solve".into(), Json::Null)),
+            }
+            Json::Object(entries)
+        })
+        .collect();
+    Json::Object(vec![
+        (
+            "schema_version".into(),
+            Json::from_u64(REPORT_SCHEMA_VERSION),
+        ),
+        ("suite".into(), Json::String(report.suite.clone())),
+        ("machines".into(), Json::Array(machines)),
     ])
 }
 

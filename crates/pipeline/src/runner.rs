@@ -73,6 +73,8 @@ impl Default for PipelineConfig {
                 time_limit: None,
                 lemma1_pruning: true,
                 stop_at_lower_bound: true,
+                branch_and_bound: true,
+                parallel_subtrees: 1,
             },
             encoding: EncodingStrategy::Binary,
             synth: SynthOptions::default(),
@@ -85,10 +87,15 @@ impl Default for PipelineConfig {
 
 impl PipelineConfig {
     fn echo(&self) -> ConfigEcho {
+        // `parallel_subtrees` is deliberately *not* echoed: the solver's
+        // parallel reduction is byte-identical to serial, so the worker
+        // count cannot influence the report and echoing it would break the
+        // jobs-independence of the golden files.
         ConfigEcho {
             max_nodes: self.solver.max_nodes,
             lemma1_pruning: self.solver.lemma1_pruning,
             stop_at_lower_bound: self.solver.stop_at_lower_bound,
+            branch_and_bound: self.solver.branch_and_bound,
             encoding: format!("{:?}", self.encoding).to_ascii_lowercase(),
             minimize: self.synth.minimize,
             patterns_per_session: self.patterns_per_session,
@@ -150,6 +157,7 @@ pub fn run_machine(entry: &CorpusEntry, config: &PipelineConfig) -> MachineRepor
         basis_size: solved.outcome.stats.basis_size,
         nodes_investigated: solved.outcome.stats.nodes_investigated,
         subtrees_pruned: solved.outcome.stats.subtrees_pruned,
+        subtrees_bound_pruned: solved.outcome.stats.subtrees_bound_pruned,
         budget_exhausted: solved.outcome.stats.budget_exhausted,
         realization_verified: verified,
     });
@@ -317,6 +325,8 @@ mod tests {
                 time_limit: None,
                 lemma1_pruning: true,
                 stop_at_lower_bound: true,
+                branch_and_bound: true,
+                parallel_subtrees: 1,
             },
             patterns_per_session: 32,
             ..PipelineConfig::default()

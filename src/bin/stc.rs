@@ -13,8 +13,8 @@
 
 use stc::pipeline::{
     compare_benchmarks, embedded_corpus, filter_by_names, format_summary_table, kiss2_corpus,
-    load_baseline_dir, run_corpus, BenchMeasurement, CorpusEntry, PipelineConfig, PipelineError,
-    SuiteRun,
+    load_baseline_dir, run_corpus, search_stats_json, BenchMeasurement, CorpusEntry,
+    PipelineConfig, PipelineError, SuiteRun,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -37,7 +37,15 @@ CORPUS OPTIONS (run, list):
 RUN OPTIONS:
     --jobs <N>                   worker threads (default: available parallelism;
                                  1 selects the serial fallback — same output)
+    --solver-jobs <N>            threads for the OSTR solver's parallel subtree
+                                 exploration per machine (default 1; any value
+                                 produces byte-identical results)
+    --no-bnb                     disable the solver's branch-and-bound pruning
+                                 (changes search statistics, not the reported
+                                 solution; tie corner: DESIGN.md §5)
     --out <FILE>                 write the JSON report to FILE instead of stdout
+    --stats-out <FILE>           also write the per-machine search-effort stats
+                                 (the CI search-stats gate artefact) to FILE
     --max-nodes <N>              OSTR solver node budget per machine (default 100000)
     --patterns <N>               BIST patterns per self-test session (default 256)
     --gate-states <N>            max |S| for the gate-level stages (default 10)
@@ -51,7 +59,8 @@ BENCH-CHECK OPTIONS:
     --baseline-dir <DIR>         committed baselines (default: crates/bench)
     --measured-dir <DIR>         pre-existing fresh BENCH_*.json files; when absent,
                                  `cargo bench -p stc-bench` runs in target/bench-check
-    --tolerance <F>              relative tolerance, 0.30 = ±30% (default 0.30)
+    --threshold <F>              relative regression threshold, 0.30 = ±30%
+                                 (default 0.30; --tolerance is an alias)
 
 The JSON report contains no wall-clock values: for a fixed corpus and options
 it is byte-identical for any --jobs value, so CI diffs it against a golden
@@ -162,6 +171,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let mut config = PipelineConfig::default();
     let mut jobs = default_jobs();
     let mut out: Option<PathBuf> = None;
+    let mut stats_out: Option<PathBuf> = None;
 
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -170,7 +180,12 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         }
         match flag.as_str() {
             "--jobs" => jobs = parse_number(flag, take_value(flag, &mut iter)?)?,
+            "--solver-jobs" => {
+                config.solver.parallel_subtrees = parse_number(flag, take_value(flag, &mut iter)?)?;
+            }
+            "--no-bnb" => config.solver.branch_and_bound = false,
             "--out" => out = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--stats-out" => stats_out = Some(PathBuf::from(take_value(flag, &mut iter)?)),
             "--max-nodes" => {
                 config.solver.max_nodes = parse_number(flag, take_value(flag, &mut iter)?)?;
             }
@@ -217,6 +232,11 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         );
     }
 
+    if let Some(path) = stats_out {
+        let stats = search_stats_json(&report).to_pretty();
+        std::fs::write(&path, stats)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
     let json = report.to_json_string();
     match out {
         Some(path) => std::fs::write(&path, &json)
@@ -267,12 +287,14 @@ fn cmd_bench_check(args: &[String]) -> Result<ExitCode, String> {
         match flag.as_str() {
             "--baseline-dir" => baseline_dir = PathBuf::from(take_value(flag, &mut iter)?),
             "--measured-dir" => measured_dir = Some(PathBuf::from(take_value(flag, &mut iter)?)),
-            "--tolerance" => tolerance = parse_number(flag, take_value(flag, &mut iter)?)?,
+            "--threshold" | "--tolerance" => {
+                tolerance = parse_number(flag, take_value(flag, &mut iter)?)?;
+            }
             other => return Err(format!("unknown flag '{other}' for 'stc bench-check'")),
         }
     }
     if !(tolerance.is_finite() && tolerance >= 0.0) {
-        return Err("--tolerance must be a non-negative number".into());
+        return Err("--threshold must be a non-negative number".into());
     }
 
     let measured_dir = match measured_dir {

@@ -16,6 +16,8 @@ fn test_config() -> PipelineConfig {
             time_limit: None,
             lemma1_pruning: true,
             stop_at_lower_bound: true,
+            branch_and_bound: true,
+            parallel_subtrees: 1,
         },
         patterns_per_session: 32,
         gate_level: GateLevelLimits {
@@ -61,6 +63,30 @@ fn report_is_deterministic_across_repeated_runs() {
         first.report.to_json_string(),
         second.report.to_json_string()
     );
+}
+
+/// The solver's parallel subtree exploration must be invisible in the
+/// report: its deterministic reduction is byte-identical to serial, and the
+/// worker count is deliberately not echoed in the config section.
+#[test]
+fn report_is_independent_of_solver_parallelism() {
+    let corpus = filter_by_names(
+        embedded_corpus(),
+        &["bbara".to_string(), "dk27".to_string(), "tbk".to_string()],
+    )
+    .unwrap();
+    let config = test_config();
+    let serial = run_corpus(&corpus, &config, 1, "subset");
+    for solver_jobs in [2, 4, 16] {
+        let mut parallel_config = test_config();
+        parallel_config.solver.parallel_subtrees = solver_jobs;
+        let parallel = run_corpus(&corpus, &parallel_config, 1, "subset");
+        assert_eq!(
+            serial.report.to_json_string(),
+            parallel.report.to_json_string(),
+            "solver_jobs = {solver_jobs}"
+        );
+    }
 }
 
 proptest::proptest! {

@@ -1,0 +1,51 @@
+//! The search-stats regression gate, enforced from the test suite.
+//!
+//! CI diffs `stc run --suite embedded --stats-out` against
+//! `tests/golden/search_stats.json`; this test enforces the same golden from
+//! `cargo test`, so a pruning regression (more nodes investigated, fewer
+//! subtrees discarded) fails fast locally even when wall-clock noise hides
+//! it from the perf gate.  Re-golden after an intentional search change:
+//!
+//! ```text
+//! cargo run --release --bin stc -- run --suite embedded --jobs 2 \
+//!     --out tests/golden/embedded_suite.json \
+//!     --stats-out tests/golden/search_stats.json
+//! ```
+//!
+//! and review the stats diff like any other code change.
+
+use stc::pipeline::{
+    embedded_corpus, run_corpus, search_stats_json, GateLevelLimits, PipelineConfig,
+};
+
+#[test]
+fn embedded_search_stats_match_the_committed_golden() {
+    // Skip the gate-level stages: the search statistics depend only on the
+    // solver configuration, which must stay the pipeline default.
+    let config = PipelineConfig {
+        gate_level: GateLevelLimits {
+            max_states: 0,
+            max_inputs: 0,
+        },
+        ..PipelineConfig::default()
+    };
+    assert_eq!(
+        config.solver,
+        PipelineConfig::default().solver,
+        "the gate must measure the default solver configuration"
+    );
+    let run = run_corpus(&embedded_corpus(), &config, 2, "embedded");
+    let fresh = search_stats_json(&run.report).to_pretty();
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/search_stats.json"
+    );
+    let golden =
+        std::fs::read_to_string(golden_path).expect("tests/golden/search_stats.json is committed");
+    assert_eq!(
+        fresh, golden,
+        "search-effort statistics diverged from tests/golden/search_stats.json; \
+         if the change is intentional, re-golden (see this file's module docs) \
+         and review the pruning impact"
+    );
+}
