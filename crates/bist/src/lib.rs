@@ -37,6 +37,7 @@ mod misr;
 mod session;
 mod stage;
 
+#[allow(deprecated)]
 pub use stage::BistStage;
 
 pub use architecture::{

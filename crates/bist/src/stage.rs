@@ -13,6 +13,7 @@ use stc_logic::PipelineLogic;
 /// # Example
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use stc_bist::BistStage;
 /// use stc_encoding::EncodeStage;
 /// use stc_fsm::paper_example;
@@ -26,12 +27,18 @@ use stc_logic::PipelineLogic;
 /// let result = BistStage::new(128).apply(&logic);
 /// assert!(result.overall_coverage() > 0.9);
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `stc::Synthesis` session API (`Synthesis::builder()…build()`); \
+            the per-crate stage structs are kept only so pre-session code keeps compiling"
+)]
 #[derive(Debug, Clone, Copy)]
 pub struct BistStage {
     /// Number of test patterns applied per self-test session.
     pub patterns_per_session: usize,
 }
 
+#[allow(deprecated)]
 impl Default for BistStage {
     fn default() -> Self {
         Self {
@@ -40,6 +47,7 @@ impl Default for BistStage {
     }
 }
 
+#[allow(deprecated)]
 impl BistStage {
     /// The stage's name in pipeline reports and logs.
     pub const NAME: &'static str = "bist";
@@ -60,6 +68,7 @@ impl BistStage {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use stc_encoding::EncodeStage;

@@ -36,9 +36,10 @@
 //!   the statistics are byte-identical to a serial run.
 
 use crate::cost::Cost;
+use crate::observe::{SearchObserver, PROGRESS_INTERVAL};
 use crate::solver::{OstrSolution, SolverConfig};
 use stc_partition::{meets_within, PackedPair, PackedPartition, PackedScratch, Partition};
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -51,6 +52,7 @@ pub(crate) struct EngineStats {
     pub bound_pruned: u64,
     pub solutions: u64,
     pub exhausted: bool,
+    pub cancelled: bool,
 }
 
 /// The immutable description of one OSTR search, shared across worker
@@ -66,6 +68,19 @@ pub(crate) struct SearchProblem<'a> {
     general_basis: &'a [(Partition, Partition)],
     config: SolverConfig,
     deadline: Option<Instant>,
+    /// The side-channel observer.  Its callbacks never feed back into the
+    /// result except through `should_stop`, which behaves exactly like
+    /// budget exhaustion.
+    observer: &'a dyn SearchObserver,
+    /// Approximate cumulative node count across all subtrees (and, in
+    /// parallel mode, all workers), reported to the observer's progress
+    /// callback.  Never read by the search itself.
+    progress: AtomicU64,
+    /// Latched whenever any `should_stop` poll answered `true` — including
+    /// polls consumed by a speculative parallel pass whose outcome the
+    /// reduction later discards — so a requested stop is always reflected
+    /// in the final statistics.
+    stop_seen: AtomicBool,
     /// Cost lower bounds per block-count pair (present iff branch and bound
     /// is enabled).
     bound: Option<BoundTable>,
@@ -129,6 +144,7 @@ impl<'a> SearchProblem<'a> {
         basis: &'a [(Partition, Partition)],
         config: SolverConfig,
         deadline: Option<Instant>,
+        observer: &'a dyn SearchObserver,
     ) -> Self {
         let eps_packed = PackedPartition::from_partition(eps);
         let packed: Vec<PackedPair> = basis
@@ -160,6 +176,9 @@ impl<'a> SearchProblem<'a> {
             general_basis: basis,
             config,
             deadline,
+            observer,
+            progress: AtomicU64::new(0),
+            stop_seen: AtomicBool::new(false),
             bound,
             seeds,
         }
@@ -252,14 +271,36 @@ struct CancelState {
     best_bits: AtomicU32,
 }
 
-/// Budget/deadline check, mirroring the recursive implementation: the node
-/// budget is checked on every call, the wall clock only every 256 nodes.
-fn out_of_budget(stats: &mut EngineStats, budget: u64, deadline: Option<Instant>) -> bool {
+/// Budget/deadline/observer check, mirroring the recursive implementation:
+/// the node budget is checked on every call, the wall clock only every 256
+/// nodes, and the observer is ticked every [`PROGRESS_INTERVAL`] local
+/// nodes (`mark` remembers the node count of the last tick; the ticked
+/// delta is folded into the shared cumulative counter).  A stop requested
+/// by the observer behaves exactly like budget exhaustion, plus the
+/// `cancelled` marker.
+fn out_of_budget(
+    p: &SearchProblem<'_>,
+    stats: &mut EngineStats,
+    budget: u64,
+    mark: &mut u64,
+) -> bool {
     if stats.nodes >= budget {
         stats.exhausted = true;
         return true;
     }
-    if let Some(d) = deadline {
+    if stats.nodes - *mark >= PROGRESS_INTERVAL {
+        let delta = stats.nodes - *mark;
+        *mark = stats.nodes;
+        let total = p.progress.fetch_add(delta, Ordering::Relaxed) + delta;
+        p.observer.on_progress(total);
+        if p.observer.should_stop() {
+            p.stop_seen.store(true, Ordering::Relaxed);
+            stats.exhausted = true;
+            stats.cancelled = true;
+            return true;
+        }
+    }
+    if let Some(d) = p.deadline {
         if stats.nodes.is_multiple_of(256) && Instant::now() >= d {
             stats.exhausted = true;
             return true;
@@ -268,19 +309,32 @@ fn out_of_budget(stats: &mut EngineStats, budget: u64, deadline: Option<Instant>
     false
 }
 
+/// Flushes a subtree's not-yet-ticked tail of nodes (those since its last
+/// in-subtree progress tick) into the shared cumulative counter, so a
+/// search pass contributes each of its nodes once regardless of subtree
+/// size.  (In parallel mode a subtree can be searched more than once —
+/// speculatively and again by the reduction — so cumulative progress can
+/// overshoot there; it is approximate by contract.)  No observer tick here
+/// — the merge loop decides when the *global* count has crossed another
+/// interval.
+fn flush_progress(p: &SearchProblem<'_>, nodes: u64, mark: u64) {
+    if nodes > mark {
+        p.progress.fetch_add(nodes - mark, Ordering::Relaxed);
+    }
+}
+
 /// Evaluates the candidate κ: counts it if it is a solution (`π ∩ τ ⊆ ε`)
 /// and accepts it into `best` on strict improvement.  Returns the Lemma 1
 /// criterion (`true` iff the intersection condition held).
 fn eval_candidate(
-    n: usize,
-    eps: &PackedPartition,
+    p: &SearchProblem<'_>,
     pair: &PackedPair,
     scratch: &mut PackedScratch,
     best: &mut BestSlot,
     stats: &mut EngineStats,
     lb_hit: &mut bool,
 ) -> bool {
-    if !meets_within(&pair.pi, &pair.tau, eps, scratch) {
+    if !meets_within(&pair.pi, &pair.tau, &p.eps, scratch) {
         return false;
     }
     stats.solutions += 1;
@@ -302,7 +356,8 @@ fn eval_candidate(
             best.pi.copy_from(&pair.pi);
             best.tau.copy_from(&pair.tau);
         }
-        if c1 * c2 == n && cost.register_bits() == stc_fsm::ceil_log2(n) {
+        p.observer.on_incumbent(cost);
+        if c1 * c2 == p.n && cost.register_bits() == stc_fsm::ceil_log2(p.n) {
             *lb_hit = true;
         }
     }
@@ -321,6 +376,7 @@ fn search_subtree(
 ) -> Option<SubtreeOutcome> {
     let cfg = &p.config;
     let mut out = SubtreeOutcome::default();
+    let mut progress_mark = 0u64;
     ws.reset(p.n);
     let prune_seed = if p.bound.is_some() {
         p.seeds[k0]
@@ -336,8 +392,7 @@ fn search_subtree(
     ws.arena[0].copy_from(&p.basis[k0]);
     out.stats.nodes = 1;
     let meets = eval_candidate(
-        p.n,
-        &p.eps,
+        p,
         &ws.arena[0],
         &mut ws.scratch,
         &mut ws.best,
@@ -369,7 +424,7 @@ fn search_subtree(
             frame.next += 1;
             (frame.depth as usize, k as usize)
         };
-        if out_of_budget(&mut out.stats, budget, p.deadline) {
+        if out_of_budget(p, &mut out.stats, budget, &mut progress_mark) {
             break;
         }
         if let Some(cancel) = cancel {
@@ -403,8 +458,7 @@ fn search_subtree(
         }
         out.stats.nodes += 1;
         let meets = eval_candidate(
-            p.n,
-            &p.eps,
+            p,
             &tail[0],
             &mut ws.scratch,
             &mut ws.best,
@@ -424,6 +478,7 @@ fn search_subtree(
         });
     }
 
+    flush_progress(p, out.stats.nodes, progress_mark);
     if ws.best.has {
         out.best = Some((
             ws.best.cost,
@@ -463,12 +518,50 @@ fn merge_subtrees(
     // remaining top-level children are still evaluated as candidates but
     // their subtrees are not expanded — mirroring the recursive search.
     let mut tail_mode = false;
+    // Global progress total at this loop's last observer tick, and the
+    // merge loop's own nodes (root + tail-mode candidates) not yet folded
+    // into the shared counter.  Subtree nodes reach the counter inside
+    // `search_subtree` (ticked intervals) and via its exit flush — exactly
+    // once per search pass, so serial progress tracks `stats.nodes`
+    // closely, while parallel re-searched or discarded speculative passes
+    // can push the (approximate-by-contract) total higher; this loop only
+    // decides when the global total has crossed another interval.
+    let mut last_tick = 0u64;
+    let mut unflushed = 1u64; // the root node
     for k in 0..p.basis.len() {
-        if out_of_budget(&mut stats, cfg.max_nodes, p.deadline) {
+        if stats.nodes >= cfg.max_nodes {
+            stats.exhausted = true;
+            break;
+        }
+        if let Some(d) = p.deadline {
+            if Instant::now() >= d {
+                stats.exhausted = true;
+                break;
+            }
+        }
+        // Progress and a cooperative-stop poll once per top-level subtree,
+        // so cancellation is prompt even when the remaining subtrees are
+        // all small ones that never cross the in-subtree interval.
+        let total = if unflushed > 0 {
+            let total = p.progress.fetch_add(unflushed, Ordering::Relaxed) + unflushed;
+            unflushed = 0;
+            total
+        } else {
+            p.progress.load(Ordering::Relaxed)
+        };
+        if total - last_tick >= PROGRESS_INTERVAL {
+            last_tick = total;
+            p.observer.on_progress(total);
+        }
+        if p.observer.should_stop() {
+            p.stop_seen.store(true, Ordering::Relaxed);
+            stats.exhausted = true;
+            stats.cancelled = true;
             break;
         }
         if tail_mode {
             stats.nodes += 1;
+            unflushed += 1;
             let pair = &p.basis[k];
             if meets_within(&pair.pi, &pair.tau, &p.eps, &mut ws.scratch) {
                 stats.solutions += 1;
@@ -482,6 +575,7 @@ fn merge_subtrees(
                         (gt.clone(), gp.clone())
                     };
                     best = OstrSolution { pi, tau, cost };
+                    p.observer.on_incumbent(cost);
                 }
             } else if cfg.lemma1_pruning {
                 stats.pruned += 1;
@@ -504,6 +598,7 @@ fn merge_subtrees(
         stats.pruned += outcome.stats.pruned;
         stats.bound_pruned += outcome.stats.bound_pruned;
         stats.solutions += outcome.stats.solutions;
+        stats.cancelled |= outcome.stats.cancelled;
         if let Some((cost, pi, tau)) = outcome.best {
             if cost < best.cost {
                 best = OstrSolution { pi, tau, cost };
@@ -523,6 +618,20 @@ fn merge_subtrees(
 /// Runs the full search: serial when `config.parallel_subtrees <= 1`,
 /// otherwise on scoped worker threads with the deterministic reduction.
 pub(crate) fn run_search(p: &SearchProblem<'_>) -> (OstrSolution, EngineStats) {
+    let (best, mut stats) = run_search_inner(p);
+    // A requested stop must be reflected even when the positive poll was
+    // consumed by a speculative parallel pass whose outcome the reduction
+    // discarded (its re-search runs with the observer possibly disarmed
+    // and can complete the search).  With a never-stopping observer the
+    // latch stays clear, so unobserved statistics are untouched.
+    if p.stop_seen.load(Ordering::Relaxed) && !stats.cancelled {
+        stats.cancelled = true;
+        stats.exhausted = true;
+    }
+    (best, stats)
+}
+
+fn run_search_inner(p: &SearchProblem<'_>) -> (OstrSolution, EngineStats) {
     let jobs = p.config.parallel_subtrees.clamp(1, p.basis.len().max(1));
     let mut ws = Workspace::new(p.n);
     if jobs <= 1 {

@@ -40,6 +40,7 @@ mod cost;
 mod engine;
 mod error;
 mod naive;
+mod observe;
 mod realization;
 mod solver;
 mod stage;
@@ -47,9 +48,12 @@ mod stage;
 pub use cost::Cost;
 pub use error::SynthError;
 pub use naive::{solve_naive, NaiveStats, NAIVE_STATE_LIMIT};
+pub use observe::{NullSearchObserver, SearchObserver, PROGRESS_INTERVAL};
 pub use realization::{FactorTables, Realization, RealizationViolation};
 pub use solver::{solve, OstrOutcome, OstrSolution, OstrSolver, SearchStats, SolverConfig};
-pub use stage::{SolveStage, Solved};
+#[allow(deprecated)]
+pub use stage::SolveStage;
+pub use stage::Solved;
 
 #[cfg(test)]
 mod proptests;

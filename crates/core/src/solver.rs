@@ -23,6 +23,7 @@
 
 use crate::cost::Cost;
 use crate::engine;
+use crate::observe::{NullSearchObserver, SearchObserver};
 use crate::realization::Realization;
 use serde::{Deserialize, Serialize};
 use stc_fsm::{state_equivalence, Mealy};
@@ -98,6 +99,11 @@ pub struct SearchStats {
     /// completed (the returned solution is then a best effort, like the
     /// paper's `tbk` row).
     pub budget_exhausted: bool,
+    /// `true` if a [`SearchObserver`] requested a cooperative stop before
+    /// the search completed.  Implies `budget_exhausted` (cancellation is
+    /// handled exactly like running out of budget: the best solution found
+    /// so far is returned).
+    pub cancelled: bool,
     /// Wall-clock time of the search, in microseconds.
     pub elapsed_micros: u64,
 }
@@ -200,13 +206,29 @@ impl OstrSolver {
     /// identity intersection is contained in every `ε`).
     #[must_use]
     pub fn solve(&self, machine: &Mealy) -> OstrOutcome {
+        self.solve_observed(machine, &NullSearchObserver)
+    }
+
+    /// Runs the search with a side-channel [`SearchObserver`]: progress
+    /// ticks, incumbent improvements and a cooperative-cancellation poll.
+    ///
+    /// An observer that never requests a stop is invisible — solution and
+    /// statistics are byte-identical to [`Self::solve`].  When the observer
+    /// requests a stop, the best solution found so far is returned with
+    /// [`SearchStats::cancelled`] (and [`SearchStats::budget_exhausted`])
+    /// set, so a cancelled search still yields a well-formed outcome.
+    #[must_use]
+    pub fn solve_observed(&self, machine: &Mealy, observer: &dyn SearchObserver) -> OstrOutcome {
         let start = Instant::now();
         let n = machine.num_states();
         let eps = state_equivalence(machine);
         let basis = symmetric_basis(machine);
         let deadline = self.config.time_limit.map(|d| start + d);
-        let problem = engine::SearchProblem::new(n, &eps, &basis, self.config, deadline);
+        let problem = engine::SearchProblem::new(n, &eps, &basis, self.config, deadline, observer);
         let (best, engine_stats) = engine::run_search(&problem);
+        if engine_stats.exhausted && !engine_stats.cancelled {
+            observer.on_budget_exhausted();
+        }
         let stats = SearchStats {
             basis_size: basis.len(),
             nodes_investigated: engine_stats.nodes,
@@ -214,6 +236,7 @@ impl OstrSolver {
             subtrees_bound_pruned: engine_stats.bound_pruned,
             solutions_found: engine_stats.solutions,
             budget_exhausted: engine_stats.exhausted,
+            cancelled: engine_stats.cancelled,
             elapsed_micros: start.elapsed().as_micros() as u64,
         };
         OstrOutcome { best, stats }

@@ -37,6 +37,7 @@ impl Solved {
 /// # Example
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use stc_fsm::paper_example;
 /// use stc_synth::{SolveStage, SolverConfig};
 ///
@@ -45,12 +46,18 @@ impl Solved {
 /// assert_eq!(solved.pipeline_flipflops(), 2);
 /// assert!(solved.realization.verify(&paper_example()).is_none());
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `stc::Synthesis` session API (`Synthesis::builder()…build().decompose(…)`); \
+            the per-crate stage structs are kept only so pre-session code keeps compiling"
+)]
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SolveStage {
     /// Configuration of the depth-first OSTR search.
     pub config: SolverConfig,
 }
 
+#[allow(deprecated)]
 impl SolveStage {
     /// The stage's name in pipeline reports and logs.
     pub const NAME: &'static str = "solve";
@@ -74,6 +81,7 @@ impl SolveStage {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use stc_fsm::paper_example;

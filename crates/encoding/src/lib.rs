@@ -38,6 +38,7 @@ mod stage;
 
 pub use code::{Encoding, EncodingStrategy};
 pub use encoded::{EncodedMachine, EncodedPipeline, EncodedRow};
+#[allow(deprecated)]
 pub use stage::EncodeStage;
 
 /// Minimum number of bits needed to give `items` symbols distinct codes:

@@ -15,6 +15,7 @@ use stc_synth::Realization;
 /// # Example
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use stc_encoding::{EncodeStage, EncodingStrategy};
 /// use stc_fsm::paper_example;
 /// use stc_synth::SolveStage;
@@ -24,12 +25,18 @@ use stc_synth::Realization;
 /// let encoded = EncodeStage::new(EncodingStrategy::Binary).apply(&machine, &solved.realization);
 /// assert_eq!(encoded.register_bits(), 2);
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `stc::Synthesis` session API (`Synthesis::builder()…build()`); \
+            the per-crate stage structs are kept only so pre-session code keeps compiling"
+)]
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EncodeStage {
     /// State-assignment strategy for register contents.
     pub strategy: EncodingStrategy,
 }
 
+#[allow(deprecated)]
 impl EncodeStage {
     /// The stage's name in pipeline reports and logs.
     pub const NAME: &'static str = "encode";
@@ -55,6 +62,7 @@ impl EncodeStage {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use stc_fsm::paper_example;

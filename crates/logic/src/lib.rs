@@ -44,6 +44,7 @@ pub use cover::Cover;
 pub use cube::{Cube, Literal};
 pub use error::LogicError;
 pub use netlist::{Gate, Netlist, NodeId};
+#[allow(deprecated)]
 pub use stage::LogicStage;
 pub use synth::{
     synthesize_controller, synthesize_pipeline, ControllerLogic, PipelineLogic, SynthOptions,

@@ -16,6 +16,7 @@ use stc_encoding::{EncodedMachine, EncodedPipeline};
 /// # Example
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use stc_encoding::EncodeStage;
 /// use stc_fsm::paper_example;
 /// use stc_logic::{LogicStage, SynthOptions};
@@ -27,12 +28,18 @@ use stc_encoding::{EncodedMachine, EncodedPipeline};
 /// let logic = LogicStage::new(SynthOptions::default()).apply(&encoded);
 /// assert_eq!(logic.flipflops(), encoded.register_bits());
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `stc::Synthesis` session API (`Synthesis::builder()…build()`); \
+            the per-crate stage structs are kept only so pre-session code keeps compiling"
+)]
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LogicStage {
     /// Two-level minimisation options.
     pub options: SynthOptions,
 }
 
+#[allow(deprecated)]
 impl LogicStage {
     /// The stage's name in pipeline reports and logs.
     pub const NAME: &'static str = "logic";
@@ -58,6 +65,7 @@ impl LogicStage {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use stc_encoding::EncodeStage;

@@ -1,0 +1,336 @@
+//! The layered session configuration behind [`crate::Synthesis`].
+//!
+//! One [`StcConfig`] carries every knob of the flow — solver, encoding,
+//! logic synthesis, BIST, gate-level limits, worker counts — and is built in
+//! three layers of increasing precedence:
+//!
+//! 1. **crate defaults** ([`StcConfig::default`]);
+//! 2. **a profile file** ([`StcConfig::apply_profile`]): a TOML-style text
+//!    of `[section]` headers and `key = value` lines;
+//! 3. **individual overrides** ([`StcConfig::set`]): dotted `key = value`
+//!    pairs, the exact mechanism behind CLI flags and the per-request
+//!    `overrides` object of the `stc serve` protocol.
+//!
+//! The *effective* configuration — after all layers — is what the session
+//! echoes into its reports (the `config` section of a
+//! [`crate::SuiteReport`]), so a report pins the settings that produced it
+//! regardless of which layer supplied them.  Two families of knobs are
+//! deliberately left out of the echo: worker counts (`jobs`,
+//! `solver.jobs`), which cannot influence any result, and the wall-clock
+//! bounds (`machine_timeout_secs`, `stage_deadline_secs`,
+//! `solver.time_limit_secs`), which depend on machine speed and whose
+//! effect — when one fires — already shows in the report (`status`,
+//! `budget_exhausted`).  Both omissions keep reports machine-independent.
+
+use crate::runner::PipelineConfig;
+use stc_encoding::EncodingStrategy;
+use std::time::Duration;
+
+/// An error raised while layering configuration: an unknown key, a malformed
+/// value or a syntax error in a profile text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The offending key (or line, for profile syntax errors).
+    pub key: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "config key '{}': {}", self.key, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Every override key [`StcConfig::set`] understands, with a short value
+/// description — kept next to the parser so the list cannot drift, and used
+/// verbatim in unknown-key error messages and the CLI help text.
+pub const CONFIG_KEYS: &[(&str, &str)] = &[
+    (
+        "jobs",
+        "worker threads for corpus runs and serve (0 = auto)",
+    ),
+    ("solver.max_nodes", "OSTR node budget per machine"),
+    (
+        "solver.time_limit_secs",
+        "solver wall-clock limit (0 = none)",
+    ),
+    ("solver.lemma1_pruning", "true/false"),
+    ("solver.stop_at_lower_bound", "true/false"),
+    ("solver.branch_and_bound", "true/false"),
+    ("solver.jobs", "threads for parallel subtree exploration"),
+    ("encoding", "binary | gray | one-hot | adjacency-greedy"),
+    ("synth.minimize", "true/false"),
+    ("bist.patterns", "BIST patterns per self-test session"),
+    ("gate_level.max_states", "max |S| for the gate-level stages"),
+    (
+        "gate_level.max_inputs",
+        "max input-alphabet size for gate level",
+    ),
+    (
+        "machine_timeout_secs",
+        "per-machine wall-clock safety net (0 = none)",
+    ),
+    (
+        "stage_deadline_secs",
+        "per-stage wall-clock deadline (0 = none)",
+    ),
+];
+
+/// The complete, layered configuration of a [`crate::Synthesis`] session.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StcConfig {
+    /// The composed per-stage configuration (echoed into reports).
+    pub pipeline: PipelineConfig,
+    /// Worker threads for corpus runs and the serve loop.  `0` means *auto*:
+    /// resolve via [`std::thread::available_parallelism`] at run time.  The
+    /// resolved value is logged but — like `solver.jobs` — deliberately
+    /// never echoed into reports, which keeps them machine-independent.
+    pub jobs: usize,
+    /// Optional per-stage wall-clock deadline.  The solve stage honours it
+    /// by cooperative cancellation (the observer machinery), the later
+    /// stages by a check on completion; exceeding it marks the machine
+    /// [`crate::MachineStatus::TimedOut`].  Like `machine_timeout`, enabling
+    /// it trades determinism for boundedness.
+    pub stage_deadline: Option<Duration>,
+}
+
+impl StcConfig {
+    /// Wraps a composed per-stage configuration with `jobs` workers and no
+    /// per-stage deadline — the bridge from the pre-session
+    /// [`PipelineConfig`] surface used by the deprecated shims and tests.
+    #[must_use]
+    pub fn from_pipeline(pipeline: PipelineConfig, jobs: usize) -> Self {
+        Self {
+            pipeline,
+            jobs,
+            stage_deadline: None,
+        }
+    }
+
+    /// Applies a profile text: TOML-style `[section]` headers, `key = value`
+    /// lines, `#` comments and blank lines.  Section headers prefix the keys
+    /// of the following lines (`[solver]` + `max_nodes = 1` ≡
+    /// `solver.max_nodes = 1`); top-level dotted keys work without a header.
+    pub fn apply_profile(&mut self, text: &str) -> Result<(), ConfigError> {
+        let mut section = String::new();
+        for (number, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[') {
+                let header = header.strip_suffix(']').ok_or_else(|| ConfigError {
+                    key: format!("line {}", number + 1),
+                    message: format!("malformed section header '{raw}'"),
+                })?;
+                section = header.trim().to_string();
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| ConfigError {
+                key: format!("line {}", number + 1),
+                message: format!("expected 'key = value', got '{raw}'"),
+            })?;
+            let key = key.trim();
+            let dotted = if section.is_empty() {
+                key.to_string()
+            } else {
+                format!("{section}.{key}")
+            };
+            self.set(&dotted, value.trim().trim_matches('"'))?;
+        }
+        Ok(())
+    }
+
+    /// Sets one dotted key (see [`CONFIG_KEYS`]) — the shared override
+    /// mechanism of profile files, CLI flags and serve-request overrides.
+    pub fn set(&mut self, key: &str, value: &str) -> Result<(), ConfigError> {
+        let p = &mut self.pipeline;
+        match key {
+            "jobs" => self.jobs = parse(key, value)?,
+            "solver.max_nodes" => p.solver.max_nodes = parse(key, value)?,
+            "solver.time_limit_secs" => {
+                p.solver.time_limit = optional_secs(parse(key, value)?);
+            }
+            "solver.lemma1_pruning" => p.solver.lemma1_pruning = parse_bool(key, value)?,
+            "solver.stop_at_lower_bound" => p.solver.stop_at_lower_bound = parse_bool(key, value)?,
+            "solver.branch_and_bound" => p.solver.branch_and_bound = parse_bool(key, value)?,
+            "solver.jobs" | "solver.parallel_subtrees" => {
+                p.solver.parallel_subtrees = parse(key, value)?;
+            }
+            "encoding" => {
+                p.encoding = match value {
+                    "binary" => EncodingStrategy::Binary,
+                    "gray" => EncodingStrategy::Gray,
+                    "one-hot" | "onehot" => EncodingStrategy::OneHot,
+                    "adjacency-greedy" | "adjacencygreedy" => EncodingStrategy::AdjacencyGreedy,
+                    other => {
+                        return Err(ConfigError {
+                            key: key.to_string(),
+                            message: format!(
+                                "unknown encoding '{other}' (expected binary, gray, one-hot \
+                                 or adjacency-greedy)"
+                            ),
+                        })
+                    }
+                };
+            }
+            "synth.minimize" => p.synth.minimize = parse_bool(key, value)?,
+            "bist.patterns" | "patterns_per_session" => {
+                p.patterns_per_session = parse(key, value)?;
+            }
+            "gate_level.max_states" => p.gate_level.max_states = parse(key, value)?,
+            "gate_level.max_inputs" => p.gate_level.max_inputs = parse(key, value)?,
+            "machine_timeout_secs" => p.machine_timeout = optional_secs(parse(key, value)?),
+            "stage_deadline_secs" => self.stage_deadline = optional_secs(parse(key, value)?),
+            other => {
+                let known: Vec<&str> = CONFIG_KEYS.iter().map(|(k, _)| *k).collect();
+                return Err(ConfigError {
+                    key: other.to_string(),
+                    message: format!("unknown key (known keys: {})", known.join(", ")),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves the worker count: `jobs` itself when positive, otherwise the
+    /// machine's available parallelism (falling back to 1 when detection
+    /// fails).  Callers log the resolved value; it is never echoed into
+    /// reports.
+    #[must_use]
+    pub fn resolve_jobs(&self) -> usize {
+        resolve_jobs(self.jobs)
+    }
+}
+
+/// Resolves a `--jobs` value: positive counts pass through, `0` means
+/// auto-detect via [`std::thread::available_parallelism`].
+#[must_use]
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs > 0 {
+        jobs
+    } else {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    }
+}
+
+fn optional_secs(secs: u64) -> Option<Duration> {
+    (secs > 0).then(|| Duration::from_secs(secs))
+}
+
+fn parse<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, ConfigError> {
+    value.parse().map_err(|_| ConfigError {
+        key: key.to_string(),
+        message: format!("invalid value '{value}'"),
+    })
+}
+
+fn parse_bool(key: &str, value: &str) -> Result<bool, ConfigError> {
+    match value {
+        "true" | "1" | "on" | "yes" => Ok(true),
+        "false" | "0" | "off" | "no" => Ok(false),
+        other => Err(ConfigError {
+            key: key.to_string(),
+            message: format!("invalid boolean '{other}'"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_pipeline_defaults() {
+        let config = StcConfig::default();
+        assert_eq!(config.pipeline, PipelineConfig::default());
+        assert_eq!(config.jobs, 0);
+        assert_eq!(config.stage_deadline, None);
+    }
+
+    #[test]
+    fn profile_layers_over_defaults_and_overrides_layer_over_profile() {
+        let mut config = StcConfig::default();
+        config
+            .apply_profile(
+                "# a profile\n\
+                 jobs = 3\n\
+                 encoding = \"gray\"\n\
+                 [solver]\n\
+                 max_nodes = 1234  # inline comment\n\
+                 branch_and_bound = false\n\
+                 [gate_level]\n\
+                 max_states = 6\n",
+            )
+            .unwrap();
+        assert_eq!(config.jobs, 3);
+        assert_eq!(config.pipeline.solver.max_nodes, 1234);
+        assert!(!config.pipeline.solver.branch_and_bound);
+        assert_eq!(config.pipeline.encoding, EncodingStrategy::Gray);
+        assert_eq!(config.pipeline.gate_level.max_states, 6);
+        // The CLI layer wins over the profile layer.
+        config.set("solver.max_nodes", "99").unwrap();
+        assert_eq!(config.pipeline.solver.max_nodes, 99);
+        // Untouched keys keep their defaults.
+        assert_eq!(
+            config.pipeline.gate_level.max_inputs,
+            crate::runner::GateLevelLimits::default().max_inputs
+        );
+    }
+
+    #[test]
+    fn every_documented_key_is_accepted() {
+        let mut config = StcConfig::default();
+        for (key, _) in CONFIG_KEYS {
+            let value = match *key {
+                "encoding" => "binary",
+                k if k.contains("pruning") || k.contains("bound") || k.contains("minimize") => {
+                    "true"
+                }
+                _ => "2",
+            };
+            config.set(key, value).unwrap_or_else(|e| {
+                panic!("documented key '{key}' rejected: {e}");
+            });
+        }
+    }
+
+    #[test]
+    fn errors_name_the_key_and_list_known_keys() {
+        let mut config = StcConfig::default();
+        let err = config.set("solver.max_nodez", "1").unwrap_err();
+        assert!(err.to_string().contains("solver.max_nodez"));
+        assert!(err.to_string().contains("solver.max_nodes"));
+        let err = config.set("jobs", "many").unwrap_err();
+        assert!(err.to_string().contains("invalid value"));
+        let err = config.apply_profile("[solver\nmax_nodes = 1").unwrap_err();
+        assert!(err.message.contains("section header"));
+        let err = config.apply_profile("just a line").unwrap_err();
+        assert!(err.message.contains("key = value"));
+    }
+
+    #[test]
+    fn zero_disables_the_optional_durations() {
+        let mut config = StcConfig::default();
+        config.set("machine_timeout_secs", "5").unwrap();
+        config.set("stage_deadline_secs", "7").unwrap();
+        assert_eq!(
+            config.pipeline.machine_timeout,
+            Some(Duration::from_secs(5))
+        );
+        assert_eq!(config.stage_deadline, Some(Duration::from_secs(7)));
+        config.set("machine_timeout_secs", "0").unwrap();
+        config.set("stage_deadline_secs", "0").unwrap();
+        assert_eq!(config.pipeline.machine_timeout, None);
+        assert_eq!(config.stage_deadline, None);
+    }
+
+    #[test]
+    fn resolve_jobs_auto_detects_on_zero() {
+        assert_eq!(resolve_jobs(4), 4);
+        assert!(resolve_jobs(0) >= 1);
+    }
+}

@@ -110,23 +110,34 @@ pub fn kiss2_corpus(dir: &Path) -> Result<Vec<CorpusEntry>, PipelineError> {
 }
 
 /// Restricts a corpus to the given machine names (order preserved from the
-/// corpus, not from `names`).  Unknown names are reported as an error so CI
-/// filters fail loudly instead of silently running nothing.
+/// corpus, not from `names`).  Unknown names are reported as an error — one
+/// that lists every available name, so a typo on the command line is a
+/// one-glance fix — and CI filters fail loudly instead of silently running
+/// nothing.
 pub fn filter_by_names(
     corpus: Vec<CorpusEntry>,
     names: &[String],
 ) -> Result<Vec<CorpusEntry>, PipelineError> {
     for name in names {
         if !corpus.iter().any(|e| e.name() == name) {
-            return Err(PipelineError::EmptyCorpus(format!(
-                "no machine named '{name}' in the corpus"
-            )));
+            return Err(PipelineError::EmptyCorpus(no_such_machine(name, &corpus)));
         }
     }
     Ok(corpus
         .into_iter()
         .filter(|e| names.iter().any(|n| n == e.name()))
         .collect())
+}
+
+/// The shared unknown-machine message: names the typo and lists every
+/// available name, so a one-glance fix — used by [`filter_by_names`] and
+/// the serve loop's machine lookup.
+pub(crate) fn no_such_machine(name: &str, corpus: &[CorpusEntry]) -> String {
+    let available: Vec<&str> = corpus.iter().map(CorpusEntry::name).collect();
+    format!(
+        "no machine named '{name}' in the corpus (available: {})",
+        available.join(", ")
+    )
 }
 
 #[cfg(test)]
@@ -168,6 +179,26 @@ mod tests {
         // The stem matches an embedded benchmark, so paper columns attach.
         assert!(corpus[0].table1.is_some());
         std::fs::remove_dir_all(&dir).unwrap();
-        assert!(kiss2_corpus(Path::new("/nonexistent-dir")).is_err());
+    }
+
+    #[test]
+    fn missing_kiss2_directory_reports_the_path_and_io_error() {
+        let err = kiss2_corpus(Path::new("/nonexistent-dir")).unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("/nonexistent-dir"), "{message}");
+        // The underlying io::Error must be part of the message, not a bare
+        // failure.
+        assert!(message.to_lowercase().contains("no such file"), "{message}");
+    }
+
+    #[test]
+    fn unknown_machine_error_lists_the_available_names() {
+        let err = filter_by_names(embedded_corpus(), &["tva".to_string()]).unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("'tva'"), "{message}");
+        assert!(
+            message.contains("tav") && message.contains("bbara"),
+            "{message}"
+        );
     }
 }

@@ -34,7 +34,7 @@ impl std::fmt::Display for PipelineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PipelineError::Io { path, source } => {
-                write!(f, "{}: {source}", path.display())
+                write!(f, "cannot read {}: {source}", path.display())
             }
             PipelineError::Kiss2 { path, source } => {
                 write!(f, "{}: KISS2 parse error: {source}", path.display())

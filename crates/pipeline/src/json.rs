@@ -113,6 +113,47 @@ impl Json {
         out
     }
 
+    /// Serialises the value as compact single-line JSON (no whitespace, no
+    /// trailing newline) — the wire format of the `stc serve` JSON-lines
+    /// protocol, where one value must occupy exactly one line.
+    #[must_use]
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Number(n) => write_number(out, *n),
+            Json::String(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Object(entries) => {
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write_pretty(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -447,6 +488,30 @@ mod tests {
         assert!(Json::parse("\"unterminated").is_err());
         assert!(Json::parse("{} trailing").is_err());
         assert!(Json::parse("nulll").is_err());
+    }
+
+    #[test]
+    fn compact_form_is_one_line_and_round_trips() {
+        let value = Json::Object(vec![
+            ("id".into(), Json::from_u64(7)),
+            ("ok".into(), Json::Bool(true)),
+            (
+                "items".into(),
+                Json::Array(vec![
+                    Json::Null,
+                    Json::Number(0.5),
+                    Json::String("a\nb".into()),
+                ]),
+            ),
+            ("empty".into(), Json::Object(vec![])),
+        ]);
+        let compact = value.to_compact();
+        assert!(!compact.contains('\n'));
+        assert_eq!(
+            compact,
+            r#"{"id":7,"ok":true,"items":[null,0.5,"a\nb"],"empty":{}}"#
+        );
+        assert_eq!(Json::parse(&compact).unwrap(), value);
     }
 
     #[test]

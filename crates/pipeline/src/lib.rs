@@ -8,26 +8,29 @@
 //! JSON report with paper-vs-measured columns (see `DESIGN.md` §3 at the
 //! repository root).
 //!
-//! * [`Stage`] — the composition trait over the per-crate stage entry points
-//!   ([`stc_synth::SolveStage`], [`stc_encoding::EncodeStage`],
-//!   [`stc_logic::LogicStage`], [`stc_bist::BistStage`]);
+//! * [`Synthesis`] / [`SynthesisBuilder`] — the unified session API: one
+//!   layered [`StcConfig`], typed artifacts ([`Decomposition`] → [`Encoded`]
+//!   → [`Netlist`] → [`BistPlan`] → [`MachineReport`]), progress events and
+//!   cooperative cancellation ([`Observer`]);
 //! * [`embedded_corpus`] / [`kiss2_corpus`] — corpus loading;
-//! * [`run_corpus`] / [`run_machine`] — the parallel runner with a serial
-//!   fallback whose report is byte-identical to any parallel run;
+//! * [`serve`] — the JSON-lines request loop behind `stc serve`;
 //! * [`SuiteReport`] — the deterministic report and its JSON serialisation;
 //! * [`compare_benchmarks`] — the perf-baseline comparison behind the
 //!   `stc bench-check` CI gate;
 //! * [`Json`] — the minimal JSON value type used for emission and parsing
-//!   (the vendored `serde` is a no-op marker crate).
+//!   (the vendored `serde` is a no-op marker crate);
+//! * [`run_corpus`] / [`run_machine`] and the [`Stage`] trait — the
+//!   pre-session surface, deprecated and kept as thin shims over the
+//!   session (byte-identical reports).
 //!
 //! # Example
 //!
 //! ```
-//! use stc_pipeline::{embedded_corpus, filter_by_names, run_corpus, PipelineConfig};
+//! use stc_pipeline::{embedded_corpus, filter_by_names, Synthesis};
 //!
 //! let corpus = filter_by_names(embedded_corpus(), &["tav".to_string()]).unwrap();
-//! let serial = run_corpus(&corpus, &PipelineConfig::default(), 1, "demo");
-//! let parallel = run_corpus(&corpus, &PipelineConfig::default(), 4, "demo");
+//! let serial = Synthesis::builder().jobs(1).build().run_suite(&corpus, "demo");
+//! let parallel = Synthesis::builder().jobs(4).build().run_suite(&corpus, "demo");
 //! assert_eq!(
 //!     serial.report.to_json_string(),
 //!     parallel.report.to_json_string()
@@ -38,31 +41,50 @@
 #![warn(missing_docs)]
 
 mod bench_compare;
+mod config;
 mod corpus;
 mod error;
 mod json;
+mod observe;
 mod report;
 mod runner;
+mod serve;
+mod session;
 
 pub use bench_compare::{
     compare_benchmarks, load_baseline_dir, parse_baseline, BenchCheck, BenchDelta, BenchMeasurement,
 };
+pub use config::{resolve_jobs, ConfigError, StcConfig, CONFIG_KEYS};
 pub use corpus::{embedded_corpus, filter_by_names, kiss2_corpus, CorpusEntry};
 pub use error::PipelineError;
 pub use json::{Json, JsonError};
+pub use observe::{CancelFlag, Event, NullObserver, Observer};
 pub use report::{
     format_summary_table, search_stats_json, BistReport, ConfigEcho, LogicReport, MachineReport,
     MachineStatus, SessionReport, SolveReport, SuiteReport, SuiteSummary, REPORT_SCHEMA_VERSION,
 };
-pub use runner::{
-    run_corpus, run_machine, GateLevelLimits, MachineTiming, PipelineConfig, SuiteRun,
+#[allow(deprecated)]
+pub use runner::{run_corpus, run_machine};
+pub use runner::{GateLevelLimits, MachineTiming, PipelineConfig, SuiteRun};
+pub use serve::{serve, ServeStats};
+pub use session::{
+    stage_names, BistPlan, Decomposition, Encoded, Netlist, SessionError, Synthesis,
+    SynthesisBuilder,
 };
 
-use stc_bist::{BistStage, SelfTestResult};
-use stc_encoding::{EncodeStage, EncodedPipeline};
+#[allow(deprecated)]
+use stc_bist::BistStage;
+use stc_bist::SelfTestResult;
+#[allow(deprecated)]
+use stc_encoding::EncodeStage;
+use stc_encoding::EncodedPipeline;
 use stc_fsm::Mealy;
-use stc_logic::{LogicStage, PipelineLogic};
-use stc_synth::{Realization, SolveStage, Solved};
+#[allow(deprecated)]
+use stc_logic::LogicStage;
+use stc_logic::PipelineLogic;
+#[allow(deprecated)]
+use stc_synth::SolveStage;
+use stc_synth::{Realization, Solved};
 
 /// A pipeline stage: a configured transformation from one flow artefact to
 /// the next.
@@ -73,6 +95,11 @@ use stc_synth::{Realization, SolveStage, Solved};
 /// trait unifies them for generic composition.  The input is a type
 /// parameter rather than an associated type so a stage can consume borrowed
 /// inputs of any lifetime.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `Synthesis` session API and its typed artifacts; the stage structs and \
+            this composition trait are kept only so pre-session code keeps compiling"
+)]
 pub trait Stage<In> {
     /// The stage's output artefact.
     type Out;
@@ -84,6 +111,7 @@ pub trait Stage<In> {
     fn run(&self, input: In) -> Self::Out;
 }
 
+#[allow(deprecated)]
 impl<'a> Stage<&'a Mealy> for SolveStage {
     type Out = Solved;
 
@@ -96,6 +124,7 @@ impl<'a> Stage<&'a Mealy> for SolveStage {
     }
 }
 
+#[allow(deprecated)]
 impl<'a> Stage<(&'a Mealy, &'a Realization)> for EncodeStage {
     type Out = EncodedPipeline;
 
@@ -108,6 +137,7 @@ impl<'a> Stage<(&'a Mealy, &'a Realization)> for EncodeStage {
     }
 }
 
+#[allow(deprecated)]
 impl<'a> Stage<&'a EncodedPipeline> for LogicStage {
     type Out = PipelineLogic;
 
@@ -120,6 +150,7 @@ impl<'a> Stage<&'a EncodedPipeline> for LogicStage {
     }
 }
 
+#[allow(deprecated)]
 impl<'a> Stage<&'a PipelineLogic> for BistStage {
     type Out = SelfTestResult;
 
@@ -133,6 +164,7 @@ impl<'a> Stage<&'a PipelineLogic> for BistStage {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the tests pin the deprecated stage shims' behaviour
 mod tests {
     use super::*;
     use stc_fsm::paper_example;

@@ -29,6 +29,11 @@ pub enum MachineStatus {
     /// The per-machine wall-clock timeout expired between stages; the report
     /// carries the sections completed before the deadline.
     TimedOut,
+    /// A session observer requested cancellation before this machine's flow
+    /// completed; the report carries the sections completed before the stop
+    /// (none, when the machine was never started).  Never appears in
+    /// observer-free runs, so golden reports are unaffected.
+    Cancelled,
     /// A stage failed (e.g. the realization did not verify).
     Error(String),
 }
@@ -41,6 +46,7 @@ impl MachineStatus {
             MachineStatus::Full => "full",
             MachineStatus::SolveOnly => "solve-only",
             MachineStatus::TimedOut => "timeout",
+            MachineStatus::Cancelled => "cancelled",
             MachineStatus::Error(_) => "error",
         }
     }
@@ -153,6 +159,10 @@ pub struct SuiteSummary {
     pub solve_only: usize,
     /// Machines cut off by the per-machine timeout.
     pub timed_out: usize,
+    /// Machines cut short (or never started) because a session observer
+    /// requested cancellation.  Only emitted into the JSON summary when
+    /// nonzero, so observer-free golden reports are unchanged.
+    pub cancelled: usize,
     /// Machines on which a stage failed.
     pub errors: usize,
     /// Machines with a non-trivial decomposition.
@@ -223,6 +233,28 @@ impl SuiteReport {
             ),
             ("summary".into(), summary_json(&self.summary)),
         ])
+    }
+}
+
+impl MachineReport {
+    /// The single-machine report as a [`Json`] value — the `report` payload
+    /// of an `stc serve` response, identical in shape to one element of the
+    /// suite report's `machines` array.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        machine_json(self)
+    }
+}
+
+impl ConfigEcho {
+    /// The configuration echo as a [`Json`] value — embedded in suite
+    /// reports and `stc serve` responses so every result pins the effective
+    /// *deterministic* configuration that produced it (worker counts and
+    /// wall-clock bounds are deliberately not echoed; see the
+    /// `stc_pipeline::config` module docs).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        config_json(self)
     }
 }
 
@@ -377,11 +409,16 @@ fn bist_json(b: &BistReport) -> Json {
 }
 
 fn summary_json(s: &SuiteSummary) -> Json {
-    Json::Object(vec![
+    let mut entries = vec![
         ("machines".into(), Json::from_usize(s.machines)),
         ("full".into(), Json::from_usize(s.full)),
         ("solve_only".into(), Json::from_usize(s.solve_only)),
         ("timed_out".into(), Json::from_usize(s.timed_out)),
+    ];
+    if s.cancelled > 0 {
+        entries.push(("cancelled".into(), Json::from_usize(s.cancelled)));
+    }
+    entries.extend([
         ("errors".into(), Json::from_usize(s.errors)),
         ("nontrivial".into(), Json::from_usize(s.nontrivial)),
         (
@@ -392,7 +429,8 @@ fn summary_json(s: &SuiteSummary) -> Json {
             "pipeline_ff_total".into(),
             Json::from_u64(s.pipeline_ff_total),
         ),
-    ])
+    ]);
+    Json::Object(entries)
 }
 
 /// Extracts the per-machine search-effort statistics of a suite report as a
@@ -500,8 +538,13 @@ pub fn format_summary_table(report: &SuiteReport) -> String {
         ));
     }
     let s = &report.summary;
+    let cancelled = if s.cancelled > 0 {
+        format!(", {} cancelled", s.cancelled)
+    } else {
+        String::new()
+    };
     out.push_str(&format!(
-        "\n{} machines: {} full, {} solve-only, {} timeout, {} error; {} non-trivial; register bits {} -> {}\n",
+        "\n{} machines: {} full, {} solve-only, {} timeout{cancelled}, {} error; {} non-trivial; register bits {} -> {}\n",
         s.machines,
         s.full,
         s.solve_only,

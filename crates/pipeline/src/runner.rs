@@ -1,5 +1,7 @@
-//! The corpus runner: drives every machine of a corpus through the four
-//! stages, serially or on a scoped worker pool.
+//! The pre-session corpus-runner surface: the composed [`PipelineConfig`],
+//! the run outcome types, and the deprecated [`run_machine`] /
+//! [`run_corpus`] free functions, re-implemented as thin shims over the
+//! [`crate::Synthesis`] session API (byte-identical reports).
 //!
 //! Determinism contract: a machine's report depends only on the machine and
 //! the [`PipelineConfig`] — never on the worker count, scheduling order or
@@ -10,20 +12,14 @@
 //! and a solver `time_limit` (also `None` by default): enabling either trades
 //! determinism for boundedness, which the CLI documents.
 
+use crate::config::StcConfig;
 use crate::corpus::CorpusEntry;
-use crate::report::{
-    BistReport, ConfigEcho, LogicReport, MachineReport, MachineStatus, SessionReport, SolveReport,
-    SuiteReport, SuiteSummary,
-};
-use crate::Stage;
-use stc_bist::BistStage;
-use stc_encoding::{EncodeStage, EncodingStrategy};
-use stc_fsm::ceil_log2;
-use stc_logic::{LogicStage, SynthOptions};
-use stc_synth::{SolveStage, SolverConfig};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use crate::report::{MachineReport, SuiteReport};
+use crate::session::Synthesis;
+use stc_encoding::EncodingStrategy;
+use stc_logic::SynthOptions;
+use stc_synth::SolverConfig;
+use std::time::Duration;
 
 /// Size limits above which the gate-level stages (encode, logic, BIST) are
 /// skipped and a machine gets a `solve-only` report — mirroring the paper,
@@ -85,26 +81,6 @@ impl Default for PipelineConfig {
     }
 }
 
-impl PipelineConfig {
-    fn echo(&self) -> ConfigEcho {
-        // `parallel_subtrees` is deliberately *not* echoed: the solver's
-        // parallel reduction is byte-identical to serial, so the worker
-        // count cannot influence the report and echoing it would break the
-        // jobs-independence of the golden files.
-        ConfigEcho {
-            max_nodes: self.solver.max_nodes,
-            lemma1_pruning: self.solver.lemma1_pruning,
-            stop_at_lower_bound: self.solver.stop_at_lower_bound,
-            branch_and_bound: self.solver.branch_and_bound,
-            encoding: format!("{:?}", self.encoding).to_ascii_lowercase(),
-            minimize: self.synth.minimize,
-            patterns_per_session: self.patterns_per_session,
-            gate_level_max_states: self.gate_level.max_states,
-            gate_level_max_inputs: self.gate_level.max_inputs,
-        }
-    }
-}
-
 /// Wall-clock timing of one machine, reported alongside (never inside) the
 /// deterministic report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -125,103 +101,32 @@ pub struct SuiteRun {
     pub timings: Vec<MachineTiming>,
 }
 
+/// Builds the session a shim delegates to: the caller's [`PipelineConfig`]
+/// wrapped in an [`StcConfig`] with an explicit worker count and no
+/// observer.
+fn shim_session(config: &PipelineConfig, jobs: usize) -> Synthesis {
+    Synthesis::builder()
+        .config(StcConfig::from_pipeline(*config, jobs.max(1)))
+        .build()
+}
+
 /// Drives one machine through solve → encode → logic → BIST.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Synthesis::builder()…build().run(entry)` — this shim wraps it"
+)]
 #[must_use]
 pub fn run_machine(entry: &CorpusEntry, config: &PipelineConfig) -> MachineReport {
-    let deadline = config.machine_timeout.map(|t| Instant::now() + t);
-    let machine = &entry.machine;
-    let mut report = MachineReport {
-        name: machine.name().to_string(),
-        status: MachineStatus::Full,
-        states: machine.num_states(),
-        inputs: machine.num_inputs(),
-        outputs: machine.num_outputs(),
-        solve: None,
-        paper_table1: entry.table1,
-        paper_table2: entry.table2,
-        logic: None,
-        bist: None,
-    };
-
-    // Stage 1: OSTR lattice search plus the Theorem 1 realization.
-    let solved = SolveStage::new(config.solver).run(machine);
-    let verified = solved.realization.verify(machine).is_none();
-    let states = machine.num_states();
-    report.solve = Some(SolveReport {
-        s1: solved.outcome.best.cost.s1(),
-        s2: solved.outcome.best.cost.s2(),
-        conventional_bist_ff: 2 * ceil_log2(states),
-        pipeline_ff: solved.outcome.pipeline_flipflops(),
-        nontrivial: solved.outcome.best.cost.s1() < states
-            || solved.outcome.best.cost.s2() < states,
-        basis_size: solved.outcome.stats.basis_size,
-        nodes_investigated: solved.outcome.stats.nodes_investigated,
-        subtrees_pruned: solved.outcome.stats.subtrees_pruned,
-        subtrees_bound_pruned: solved.outcome.stats.subtrees_bound_pruned,
-        budget_exhausted: solved.outcome.stats.budget_exhausted,
-        realization_verified: verified,
-    });
-    if !verified {
-        report.status = MachineStatus::Error(
-            "the realization of the best OSTR solution does not realize the specification".into(),
-        );
-        return report;
-    }
-    if past(deadline) {
-        report.status = MachineStatus::TimedOut;
-        return report;
-    }
-    if report.states > config.gate_level.max_states || report.inputs > config.gate_level.max_inputs
-    {
-        report.status = MachineStatus::SolveOnly;
-        return report;
-    }
-
-    // Stage 2 + 3: state assignment and two-level logic synthesis.
-    let encoded = EncodeStage::new(config.encoding).run((machine, &solved.realization));
-    let logic = LogicStage::new(config.synth).run(&encoded);
-    report.logic = Some(LogicReport {
-        r1_bits: logic.r1_bits,
-        r2_bits: logic.r2_bits,
-        gates: logic.gate_count(),
-        literals: logic.literal_count(),
-        depth: [&logic.c1.netlist, &logic.c2.netlist, &logic.output.netlist]
-            .iter()
-            .map(|n| n.depth())
-            .max()
-            .unwrap_or(0),
-    });
-    if past(deadline) {
-        report.status = MachineStatus::TimedOut;
-        return report;
-    }
-
-    // Stage 4: two-session self-test planning and fault-coverage estimation.
-    let self_test = BistStage::new(config.patterns_per_session).run(&logic);
-    report.bist = Some(BistReport {
-        overall_coverage: self_test.overall_coverage(),
-        session1: session_report(&self_test.session1),
-        session2: session_report(&self_test.session2),
-    });
-    report
-}
-
-fn session_report(s: &stc_bist::SessionResult) -> SessionReport {
-    SessionReport {
-        block: s.block.clone(),
-        patterns: s.patterns,
-        good_signature: s.good_signature,
-        total_faults: s.total_faults,
-        detected_faults: s.detected_faults,
-    }
-}
-
-fn past(deadline: Option<Instant>) -> bool {
-    deadline.is_some_and(|d| Instant::now() >= d)
+    shim_session(config, 1).run(entry)
 }
 
 /// Runs the whole corpus with `jobs` workers (`1` selects the serial
 /// fallback) and assembles the report in corpus order.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Synthesis::builder()…jobs(n).build().run_suite(entries, name)` — this shim \
+            wraps it"
+)]
 #[must_use]
 pub fn run_corpus(
     entries: &[CorpusEntry],
@@ -229,94 +134,15 @@ pub fn run_corpus(
     jobs: usize,
     suite_name: &str,
 ) -> SuiteRun {
-    let results: Vec<(MachineReport, Duration)> = if jobs <= 1 || entries.len() <= 1 {
-        entries
-            .iter()
-            .map(|entry| timed_run(entry, config))
-            .collect()
-    } else {
-        run_parallel(entries, config, jobs.min(entries.len()))
-    };
-
-    let mut machines = Vec::with_capacity(results.len());
-    let mut timings = Vec::with_capacity(results.len());
-    let mut summary = SuiteSummary {
-        machines: results.len(),
-        ..SuiteSummary::default()
-    };
-    for (report, elapsed) in results {
-        match &report.status {
-            MachineStatus::Full => summary.full += 1,
-            MachineStatus::SolveOnly => summary.solve_only += 1,
-            MachineStatus::TimedOut => summary.timed_out += 1,
-            MachineStatus::Error(_) => summary.errors += 1,
-        }
-        if let Some(solve) = &report.solve {
-            summary.nontrivial += usize::from(solve.nontrivial);
-            summary.conventional_bist_ff_total += u64::from(solve.conventional_bist_ff);
-            summary.pipeline_ff_total += u64::from(solve.pipeline_ff);
-        }
-        timings.push(MachineTiming {
-            name: report.name.clone(),
-            elapsed,
-        });
-        machines.push(report);
-    }
-
-    SuiteRun {
-        report: SuiteReport {
-            suite: suite_name.to_string(),
-            config: config.echo(),
-            machines,
-            summary,
-        },
-        timings,
-    }
-}
-
-fn timed_run(entry: &CorpusEntry, config: &PipelineConfig) -> (MachineReport, Duration) {
-    let start = Instant::now();
-    let report = run_machine(entry, config);
-    (report, start.elapsed())
-}
-
-/// The scoped worker pool: `jobs` std threads pull machine indices from a
-/// shared atomic counter and deposit results into per-index slots, so the
-/// output order is the corpus order regardless of completion order.
-fn run_parallel(
-    entries: &[CorpusEntry],
-    config: &PipelineConfig,
-    jobs: usize,
-) -> Vec<(MachineReport, Duration)> {
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<(MachineReport, Duration)>>> =
-        entries.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                let Some(entry) = entries.get(index) else {
-                    break;
-                };
-                let result = timed_run(entry, config);
-                *slots[index].lock().expect("no panics while holding lock") = Some(result);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("worker threads joined")
-                .expect("every index was claimed exactly once")
-        })
-        .collect()
+    shim_session(config, jobs).run_suite(entries, suite_name)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the tests pin the shims to the session's behaviour
 mod tests {
     use super::*;
     use crate::corpus::{embedded_corpus, filter_by_names};
+    use crate::report::MachineStatus;
 
     fn small_config() -> PipelineConfig {
         PipelineConfig {

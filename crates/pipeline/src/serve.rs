@@ -1,0 +1,424 @@
+//! The `stc serve` request loop: a long-lived JSON-lines service over any
+//! reader/writer pair (the CLI wires it to stdin/stdout).
+//!
+//! # Protocol
+//!
+//! One request per input line, one response per output line, both compact
+//! JSON objects.  Requests:
+//!
+//! ```text
+//! {"id": 1, "machine": "tav"}
+//! {"id": 2, "machine": "tav", "overrides": {"solver.max_nodes": 5000}}
+//! {"id": 3, "kiss2": ".i 1\n…", "name": "custom"}
+//! {"id": 4, "ping": true}
+//! ```
+//!
+//! * `id` — any JSON value, echoed verbatim in the response (absent → `null`);
+//! * `machine` — a machine of the embedded benchmark suite, by name;
+//! * `kiss2` (+ optional `name`) — an inline KISS2 machine instead;
+//! * `overrides` — an object of dotted [`crate::StcConfig`] keys layered
+//!   over the server's base configuration *for this request only* (the same
+//!   mechanism as profile files and CLI flags); `jobs` is server-level and
+//!   rejected here;
+//! * `"ping": true` — answered immediately with
+//!   `{"id":…,"ok":true,"pong":true}` (any other `ping` value is ignored).
+//!
+//! Successful responses carry the machine report and the effective
+//! configuration that produced it:
+//!
+//! ```text
+//! {"id":1,"ok":true,"machine":"tav","config":{…},"report":{…}}
+//! ```
+//!
+//! failures carry `{"id":…,"ok":false,"error":"…"}` and the loop keeps
+//! serving.  The loop ends at EOF.  Requests are served by a scoped worker
+//! pool (one machine per request); with more than one worker, responses may
+//! be written *out of request order* — clients correlate by `id`.  For a
+//! fixed request, the `report` payload is deterministic: it contains no
+//! wall-clock values and does not depend on the worker count.
+
+use crate::config::StcConfig;
+use crate::corpus::{embedded_corpus, CorpusEntry};
+use crate::json::Json;
+use crate::session::{echo_config, Synthesis};
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Mutex};
+
+/// Counters of one serve loop, for logging and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests read (well-formed or not).
+    pub requests: u64,
+    /// Responses with `"ok": false`.
+    pub errors: u64,
+}
+
+/// Runs the serve loop until `input` reaches EOF, writing one response line
+/// per request line.  `jobs` is the worker count (already resolved; the CLI
+/// resolves `0` to the available parallelism before calling).  Returns the
+/// request/error counters.
+///
+/// Requests are queued with backpressure (a bounded channel of a few lines
+/// per worker), so piping a huge batch file into `stc serve` holds only the
+/// in-flight window in memory, not the whole backlog.
+///
+/// # Errors
+///
+/// Only I/O errors on `input`/`output` abort the loop; malformed requests
+/// produce error *responses* and the loop continues.  A failed response
+/// write (e.g. `EPIPE` because the client went away) stops the workers and
+/// is returned — though, since the reader blocks on `input`, not before the
+/// current line read completes (the next request or EOF; when a client dies
+/// its pipe closes and `input` reaches EOF).
+pub fn serve<R: BufRead, W: Write + Send>(
+    input: R,
+    output: W,
+    base: &StcConfig,
+    jobs: usize,
+) -> std::io::Result<ServeStats> {
+    let corpus = embedded_corpus();
+    let writer = Mutex::new(output);
+    let errors = AtomicU64::new(0);
+    let mut requests = 0u64;
+    // Clamp defensively: an absurd --jobs (typo, bad deployment config)
+    // must degrade to "many workers", not abort the process when the
+    // 500_000th thread spawn fails inside std::thread::scope.
+    let jobs = jobs.clamp(1, 256);
+    let (sender, receiver) = mpsc::sync_channel::<String>(jobs * 2);
+    let receiver = Mutex::new(receiver);
+    // The first failed response write.  Workers stop on it, the reader stops
+    // feeding, and the loop returns it — a response the client never got
+    // must not look like success.
+    let write_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+    let write_failed = || {
+        write_error
+            .lock()
+            .expect("no panics while holding lock")
+            .is_some()
+    };
+
+    let io_error: Option<std::io::Error> = std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let line = {
+                    let receiver = receiver.lock().expect("no panics while holding lock");
+                    receiver.recv()
+                };
+                let Ok(line) = line else {
+                    break; // channel closed: EOF reached and queue drained
+                };
+                if write_failed() {
+                    break; // don't synthesize answers nobody can receive
+                }
+                let response = handle_request(&line, base, &corpus);
+                if response.get("ok").map(|v| v == &Json::Bool(false)) == Some(true) {
+                    errors.fetch_add(1, Ordering::Relaxed);
+                }
+                let result = {
+                    let mut writer = writer.lock().expect("no panics while holding lock");
+                    // Write + flush under one lock so lines never interleave
+                    // and clients see each response promptly.
+                    writeln!(writer, "{}", response.to_compact()).and_then(|()| writer.flush())
+                };
+                if let Err(e) = result {
+                    write_error
+                        .lock()
+                        .expect("no panics while holding lock")
+                        .get_or_insert(e);
+                    break;
+                }
+            });
+        }
+        'read: for line in input.lines() {
+            if write_failed() {
+                break; // the output is gone; stop accepting work
+            }
+            match line {
+                Ok(line) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    requests += 1;
+                    // try_send + poll rather than a blocking send: when the
+                    // queue is full because every worker died on a write
+                    // error, a blocking send would never return (the
+                    // receiver outlives the workers).
+                    let mut line = line;
+                    loop {
+                        match sender.try_send(line) {
+                            Ok(()) => break,
+                            Err(mpsc::TrySendError::Full(back)) => {
+                                if write_failed() {
+                                    break 'read;
+                                }
+                                line = back;
+                                std::thread::sleep(std::time::Duration::from_millis(1));
+                            }
+                            Err(mpsc::TrySendError::Disconnected(_)) => break 'read,
+                        }
+                    }
+                }
+                Err(e) => {
+                    drop(sender);
+                    return Some(e);
+                }
+            }
+        }
+        drop(sender); // signal EOF to the workers
+        None
+    });
+    if let Some(e) = io_error {
+        return Err(e);
+    }
+    if let Some(e) = write_error.into_inner().expect("workers joined") {
+        return Err(e);
+    }
+    Ok(ServeStats {
+        requests,
+        errors: errors.load(Ordering::Relaxed),
+    })
+}
+
+/// Parses and serves one request line; infallible (errors become error
+/// responses).
+fn handle_request(line: &str, base: &StcConfig, corpus: &[CorpusEntry]) -> Json {
+    let request = match Json::parse(line) {
+        Ok(value @ Json::Object(_)) => value,
+        Ok(_) => return error_response(Json::Null, "request must be a JSON object"),
+        Err(e) => return error_response(Json::Null, &format!("malformed request: {e}")),
+    };
+    let id = request.get("id").cloned().unwrap_or(Json::Null);
+
+    // Only `"ping": true` is a ping — a client that always serialises a
+    // `ping: false` field must still get its machine served.
+    if request.get("ping") == Some(&Json::Bool(true)) {
+        return Json::Object(vec![
+            ("id".into(), id),
+            ("ok".into(), Json::Bool(true)),
+            ("pong".into(), Json::Bool(true)),
+        ]);
+    }
+
+    // Layer the request's overrides over the server's base configuration.
+    let mut config = base.clone();
+    if let Some(overrides) = request.get("overrides") {
+        let Json::Object(entries) = overrides else {
+            return error_response(id, "'overrides' must be an object of dotted config keys");
+        };
+        for (key, value) in entries {
+            if key == "jobs" {
+                // The worker pool is sized once at startup and each request
+                // runs exactly one machine, so a per-request 'jobs' would be
+                // silently ignored — reject it instead.
+                return error_response(
+                    id,
+                    "'jobs' is a server-level setting (stc serve --jobs) and cannot be \
+                     overridden per request",
+                );
+            }
+            let value = match value {
+                Json::String(s) => s.clone(),
+                other => other.to_compact(),
+            };
+            if let Err(e) = config.set(key, &value) {
+                return error_response(id, &e.to_string());
+            }
+        }
+    }
+
+    let entry = match resolve_machine(&request, corpus) {
+        Ok(entry) => entry,
+        Err(message) => return error_response(id, &message),
+    };
+
+    let session = Synthesis::builder().config(config).build();
+    let report = session.run(&entry);
+    Json::Object(vec![
+        ("id".into(), id),
+        ("ok".into(), Json::Bool(true)),
+        ("machine".into(), Json::String(report.name.clone())),
+        (
+            "config".into(),
+            echo_config(&session.config().pipeline).to_json(),
+        ),
+        ("report".into(), report.to_json()),
+    ])
+}
+
+/// Resolves the request's machine: an embedded-corpus name or inline KISS2.
+fn resolve_machine(request: &Json, corpus: &[CorpusEntry]) -> Result<CorpusEntry, String> {
+    match (request.get("machine"), request.get("kiss2")) {
+        (Some(_), Some(_)) => Err("give either 'machine' or 'kiss2', not both".into()),
+        (Some(Json::String(name)), None) => corpus
+            .iter()
+            .find(|e| e.name() == name)
+            .cloned()
+            .ok_or_else(|| crate::corpus::no_such_machine(name, corpus)),
+        (Some(_), None) => Err("'machine' must be a string".into()),
+        (None, Some(Json::String(text))) => {
+            let name = match request.get("name") {
+                Some(Json::String(name)) => name.clone(),
+                Some(_) => return Err("'name' must be a string".into()),
+                None => "machine".to_string(),
+            };
+            stc_fsm::kiss2::parse(text, &name)
+                .map(CorpusEntry::external)
+                .map_err(|e| format!("KISS2 parse error: {e}"))
+        }
+        (None, Some(_)) => Err("'kiss2' must be a string".into()),
+        (None, None) => Err("request needs 'machine', 'kiss2' or 'ping'".into()),
+    }
+}
+
+fn error_response(id: Json, message: &str) -> Json {
+    Json::Object(vec![
+        ("id".into(), id),
+        ("ok".into(), Json::Bool(false)),
+        ("error".into(), Json::String(message.to_string())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> StcConfig {
+        let mut config = StcConfig::default();
+        // Keep the unit tests fast: a small budget and pattern count.
+        config.set("solver.max_nodes", "10000").unwrap();
+        config.set("solver.stop_at_lower_bound", "true").unwrap();
+        config.set("bist.patterns", "16").unwrap();
+        config
+    }
+
+    fn serve_lines(input: &str, jobs: usize) -> (Vec<Json>, ServeStats) {
+        let mut output = Vec::new();
+        let stats = serve(input.as_bytes(), &mut output, &base(), jobs).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let responses = text
+            .lines()
+            .map(|line| Json::parse(line).expect("every response line is valid JSON"))
+            .collect();
+        (responses, stats)
+    }
+
+    #[test]
+    fn serves_an_embedded_machine_with_overrides() {
+        let (responses, stats) = serve_lines(
+            "{\"id\": 1, \"machine\": \"tav\", \"overrides\": {\"bist.patterns\": 8}}\n",
+            1,
+        );
+        assert_eq!(
+            stats,
+            ServeStats {
+                requests: 1,
+                errors: 0
+            }
+        );
+        let r = &responses[0];
+        assert_eq!(r.get("id").unwrap().as_u64(), Some(1));
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(r.get("machine").unwrap().as_str(), Some("tav"));
+        let report = r.get("report").unwrap();
+        assert_eq!(report.get("status").unwrap().as_str(), Some("full"));
+        let solve = report.get("solve").unwrap();
+        assert_eq!(solve.get("pipeline_ff").unwrap().as_u64(), Some(2));
+        // The effective config echoes the request override.
+        let config = r.get("config").unwrap();
+        assert_eq!(
+            config.get("patterns_per_session").unwrap().as_u64(),
+            Some(8)
+        );
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests_get_error_responses_and_the_loop_continues() {
+        let input = "not json\n\
+                     {\"id\": \"a\", \"machine\": \"nope\"}\n\
+                     {\"id\": 2, \"overrides\": {\"bad.key\": 1}, \"machine\": \"tav\"}\n\
+                     {\"id\": 3, \"ping\": true}\n";
+        let (responses, stats) = serve_lines(input, 1);
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.errors, 3);
+        assert_eq!(responses[0].get("ok"), Some(&Json::Bool(false)));
+        let unknown = responses[1].get("error").unwrap().as_str().unwrap();
+        assert!(
+            unknown.contains("'nope'") && unknown.contains("tav"),
+            "{unknown}"
+        );
+        let bad_key = responses[2].get("error").unwrap().as_str().unwrap();
+        assert!(bad_key.contains("bad.key"), "{bad_key}");
+        assert_eq!(responses[3].get("pong"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn only_ping_true_pings_other_values_fall_through() {
+        let input = "{\"id\": 1, \"machine\": \"tav\", \"ping\": false}\n\
+                     {\"id\": 2, \"ping\": false}\n";
+        let (responses, stats) = serve_lines(input, 1);
+        assert_eq!(stats.errors, 1);
+        // `ping: false` plus a machine serves the machine…
+        assert_eq!(responses[0].get("machine").unwrap().as_str(), Some("tav"));
+        assert!(responses[0].get("pong").is_none());
+        // …and on its own is an invalid request, not a pong.
+        assert_eq!(responses[1].get("ok"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn a_per_request_jobs_override_is_rejected_not_ignored() {
+        let (responses, stats) = serve_lines(
+            "{\"id\": 5, \"machine\": \"tav\", \"overrides\": {\"jobs\": 8}}\n",
+            1,
+        );
+        assert_eq!(stats.errors, 1);
+        let error = responses[0].get("error").unwrap().as_str().unwrap();
+        assert!(error.contains("server-level"), "{error}");
+    }
+
+    #[test]
+    fn inline_kiss2_machines_are_served() {
+        let kiss2 = ".i 1\\n.o 1\\n.s 2\\n.r a\\n0 a b 0\\n1 a a 1\\n0 b a 1\\n1 b b 0\\n";
+        let (responses, stats) = serve_lines(
+            &format!("{{\"id\": 9, \"kiss2\": \"{kiss2}\", \"name\": \"toy\"}}\n"),
+            1,
+        );
+        assert_eq!(stats.errors, 0);
+        assert_eq!(responses[0].get("machine").unwrap().as_str(), Some("toy"));
+        assert_eq!(
+            responses[0]
+                .get("report")
+                .unwrap()
+                .get("states")
+                .unwrap()
+                .as_u64(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn parallel_serving_answers_every_request_deterministically() {
+        let input: String = (0..6)
+            .map(|i| format!("{{\"id\": {i}, \"machine\": \"tav\"}}\n"))
+            .collect();
+        let (serial, _) = serve_lines(&input, 1);
+        let (parallel, stats) = serve_lines(&input, 4);
+        assert_eq!(
+            stats,
+            ServeStats {
+                requests: 6,
+                errors: 0
+            }
+        );
+        assert_eq!(parallel.len(), 6);
+        // Responses may arrive out of order; match by id and compare payloads.
+        for response in &parallel {
+            let id = response.get("id").unwrap().as_u64().unwrap();
+            let twin = serial
+                .iter()
+                .find(|r| r.get("id").unwrap().as_u64() == Some(id))
+                .unwrap();
+            assert_eq!(response, twin, "id {id}");
+        }
+    }
+}

@@ -1,0 +1,937 @@
+//! The unified `Synthesis` session API.
+//!
+//! The paper's flow is staged — OSTR decomposition, state encoding, logic
+//! synthesis, BIST session planning — and this module exposes it as one
+//! session object producing *typed artifacts* that flow one into the next:
+//!
+//! ```text
+//! Decomposition → Encoded → Netlist → BistPlan → MachineReport
+//! ```
+//!
+//! A [`Synthesis`] is built once from a layered [`StcConfig`] (crate
+//! defaults < profile file < individual overrides; see
+//! [`SynthesisBuilder`]) and then drives any number of machines.  Partial
+//! flows are first-class: [`Synthesis::decompose_only`] stops after the
+//! OSTR search, and any stored artifact can be resumed later
+//! ([`Synthesis::encode`], [`Synthesis::synthesize_logic`],
+//! [`Synthesis::plan_bist`] each pick up where the artifact left off).
+//! [`Synthesis::run`] and [`Synthesis::run_suite`] assemble the classic
+//! [`MachineReport`] / [`crate::SuiteReport`] from the same artifacts — the
+//! deprecated [`crate::run_machine`] / [`crate::run_corpus`] free functions
+//! are thin shims over them and produce byte-identical JSON.
+//!
+//! An [`Observer`] attached at build time receives stage and solver events
+//! and can request cooperative cancellation; events are side-channel only
+//! (see `DESIGN.md` §6 for the determinism argument), so an observer that
+//! never cancels leaves every report byte-identical.
+
+use crate::config::StcConfig;
+use crate::corpus::CorpusEntry;
+use crate::observe::{Event, NullObserver, Observer};
+use crate::report::{
+    BistReport, LogicReport, MachineReport, MachineStatus, SessionReport, SolveReport, SuiteReport,
+    SuiteSummary,
+};
+use crate::runner::{GateLevelLimits, MachineTiming, PipelineConfig, SuiteRun};
+use stc_bist::{pipeline_self_test, SelfTestResult};
+use stc_encoding::{EncodedPipeline, EncodingStrategy};
+use stc_fsm::{ceil_log2, Mealy};
+use stc_logic::{synthesize_pipeline, PipelineLogic};
+use stc_synth::{Cost, OstrOutcome, OstrSolver, Realization, SearchObserver};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Stage names, shared by events, reports and logs.
+pub mod stage_names {
+    /// The OSTR decomposition stage.
+    pub const SOLVE: &str = "solve";
+    /// The state-assignment stage.
+    pub const ENCODE: &str = "encode";
+    /// The two-level logic-synthesis stage.
+    pub const LOGIC: &str = "logic";
+    /// The BIST session-planning stage.
+    pub const BIST: &str = "bist";
+}
+
+/// An error surfaced by a typed partial flow.
+///
+/// [`Synthesis::run`] maps these onto [`MachineStatus`] values instead of
+/// returning them; the typed stage methods surface them so embedders can
+/// react per machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The Theorem 1 realization of the best OSTR solution failed
+    /// verification against the specification — a solver bug by definition,
+    /// surfaced loudly rather than silently reported.
+    RealizationInvalid {
+        /// The machine whose realization failed.
+        machine: String,
+    },
+    /// The machine exceeds the configured gate-level limits, so the encode /
+    /// logic / BIST stages would be intractable (the paper reports
+    /// gate-level numbers only for tractable machines).
+    GateLevelLimit {
+        /// The machine that exceeded the limits.
+        machine: String,
+        /// Its state count.
+        states: usize,
+        /// Its input-alphabet size.
+        inputs: usize,
+        /// The configured limits it exceeded.
+        limits: GateLevelLimits,
+    },
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::RealizationInvalid { machine } => write!(
+                f,
+                "{machine}: the realization of the best OSTR solution does not realize the \
+                 specification"
+            ),
+            SessionError::GateLevelLimit {
+                machine,
+                states,
+                inputs,
+                limits,
+            } => write!(
+                f,
+                "{machine}: {states} states / {inputs} inputs exceed the gate-level limits \
+                 ({} states / {} inputs)",
+                limits.max_states, limits.max_inputs
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+// ---------------------------------------------------------------------------
+// Typed artifacts
+// ---------------------------------------------------------------------------
+
+/// The first typed artifact: the OSTR search outcome and Theorem 1
+/// realization for one machine.  Self-contained (it owns a copy of the
+/// machine), so it can be stored and resumed later with
+/// [`Synthesis::encode`].
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// The specification machine.
+    pub machine: Mealy,
+    /// The OSTR search outcome (best solution plus statistics; a cancelled
+    /// search still carries its best-so-far solution, flagged via
+    /// [`stc_synth::SearchStats::cancelled`]).
+    pub outcome: OstrOutcome,
+    /// The pipeline realization of the best solution.
+    pub realization: Realization,
+    /// Whether the realization verified against the specification
+    /// (Definition 3).  Always checked; `false` indicates a solver bug.
+    pub verified: bool,
+}
+
+impl Decomposition {
+    /// `⌈log2|S1|⌉ + ⌈log2|S2|⌉` of the best solution.
+    #[must_use]
+    pub fn pipeline_flipflops(&self) -> u32 {
+        self.outcome.pipeline_flipflops()
+    }
+
+    /// Whether the search was stopped by a cooperative cancellation request.
+    #[must_use]
+    pub fn cancelled(&self) -> bool {
+        self.outcome.stats.cancelled
+    }
+
+    /// The report section for this artifact (the Tables 1–2 columns).
+    #[must_use]
+    pub fn solve_report(&self) -> SolveReport {
+        let states = self.machine.num_states();
+        SolveReport {
+            s1: self.outcome.best.cost.s1(),
+            s2: self.outcome.best.cost.s2(),
+            conventional_bist_ff: 2 * ceil_log2(states),
+            pipeline_ff: self.outcome.pipeline_flipflops(),
+            nontrivial: self.outcome.best.cost.s1() < states
+                || self.outcome.best.cost.s2() < states,
+            basis_size: self.outcome.stats.basis_size,
+            nodes_investigated: self.outcome.stats.nodes_investigated,
+            subtrees_pruned: self.outcome.stats.subtrees_pruned,
+            subtrees_bound_pruned: self.outcome.stats.subtrees_bound_pruned,
+            budget_exhausted: self.outcome.stats.budget_exhausted,
+            realization_verified: self.verified,
+        }
+    }
+}
+
+/// The second typed artifact: the bit-level pipeline view after state
+/// assignment, ready for logic synthesis.
+#[derive(Debug, Clone)]
+pub struct Encoded {
+    /// The machine's name (threaded through for reports and events).
+    pub name: String,
+    /// The encoded pipeline (registers `R1`/`R2` and the three
+    /// combinational blocks as truth tables).
+    pub pipeline: EncodedPipeline,
+    /// The encoding strategy that produced it.
+    pub strategy: EncodingStrategy,
+}
+
+/// The third typed artifact: synthesised two-level covers and gate-level
+/// netlists for `C1`, `C2` and the output logic.
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    /// The machine's name.
+    pub name: String,
+    /// The synthesised pipeline logic.
+    pub logic: PipelineLogic,
+}
+
+impl Netlist {
+    /// The report section for this artifact.
+    #[must_use]
+    pub fn logic_report(&self) -> LogicReport {
+        let logic = &self.logic;
+        LogicReport {
+            r1_bits: logic.r1_bits,
+            r2_bits: logic.r2_bits,
+            gates: logic.gate_count(),
+            literals: logic.literal_count(),
+            depth: [&logic.c1.netlist, &logic.c2.netlist, &logic.output.netlist]
+                .iter()
+                .map(|n| n.depth())
+                .max()
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// The fourth typed artifact: the two-session self-test plan with
+/// signature-based fault-coverage estimates.
+#[derive(Debug, Clone)]
+pub struct BistPlan {
+    /// The machine's name.
+    pub name: String,
+    /// The self-test result (both sessions).
+    pub result: SelfTestResult,
+}
+
+impl BistPlan {
+    /// The report section for this artifact.
+    #[must_use]
+    pub fn bist_report(&self) -> BistReport {
+        BistReport {
+            overall_coverage: self.result.overall_coverage(),
+            session1: session_report(&self.result.session1),
+            session2: session_report(&self.result.session2),
+        }
+    }
+}
+
+fn session_report(s: &stc_bist::SessionResult) -> SessionReport {
+    SessionReport {
+        block: s.block.clone(),
+        patterns: s.patterns,
+        good_signature: s.good_signature,
+        total_faults: s.total_faults,
+        detected_faults: s.detected_faults,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Builds a [`Synthesis`] session from layered configuration.
+///
+/// ```
+/// use stc_pipeline::Synthesis;
+///
+/// let session = Synthesis::builder()
+///     .profile("[solver]\nmax_nodes = 50000\n")
+///     .unwrap()
+///     .set("bist.patterns", "64")
+///     .unwrap()
+///     .jobs(1)
+///     .build();
+/// let decomposition = session.decompose_only(&stc_fsm::paper_example());
+/// assert_eq!(decomposition.pipeline_flipflops(), 2);
+/// ```
+#[derive(Clone)]
+pub struct SynthesisBuilder {
+    config: StcConfig,
+    observer: Arc<dyn Observer>,
+}
+
+impl Default for SynthesisBuilder {
+    fn default() -> Self {
+        Self {
+            config: StcConfig::default(),
+            observer: Arc::new(NullObserver),
+        }
+    }
+}
+
+impl std::fmt::Debug for SynthesisBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SynthesisBuilder")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SynthesisBuilder {
+    /// Replaces the whole configuration (all layers so far).
+    #[must_use]
+    pub fn config(mut self, config: StcConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Layers a profile text (TOML-style `[section]` + `key = value` lines)
+    /// over the configuration built so far.
+    pub fn profile(mut self, text: &str) -> Result<Self, crate::ConfigError> {
+        self.config.apply_profile(text)?;
+        Ok(self)
+    }
+
+    /// Layers one dotted-key override (the CLI-flag / serve-request
+    /// mechanism) over the configuration built so far.
+    pub fn set(mut self, key: &str, value: &str) -> Result<Self, crate::ConfigError> {
+        self.config.set(key, value)?;
+        Ok(self)
+    }
+
+    /// Attaches an observer receiving stage/solver events and cancellation
+    /// polls.
+    #[must_use]
+    pub fn observer(mut self, observer: Arc<dyn Observer>) -> Self {
+        self.observer = observer;
+        self
+    }
+
+    /// Sets the OSTR solver node budget per machine.
+    #[must_use]
+    pub fn max_nodes(mut self, max_nodes: u64) -> Self {
+        self.config.pipeline.solver.max_nodes = max_nodes;
+        self
+    }
+
+    /// Sets the worker count for corpus runs (`0` = auto-detect).
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.config.jobs = jobs;
+        self
+    }
+
+    /// Sets the solver's parallel-subtree worker count (byte-identical
+    /// results for any value).
+    #[must_use]
+    pub fn solver_jobs(mut self, jobs: usize) -> Self {
+        self.config.pipeline.solver.parallel_subtrees = jobs;
+        self
+    }
+
+    /// Enables or disables the solver's branch-and-bound layer.
+    #[must_use]
+    pub fn branch_and_bound(mut self, enabled: bool) -> Self {
+        self.config.pipeline.solver.branch_and_bound = enabled;
+        self
+    }
+
+    /// Sets the state-assignment strategy.
+    #[must_use]
+    pub fn encoding(mut self, strategy: EncodingStrategy) -> Self {
+        self.config.pipeline.encoding = strategy;
+        self
+    }
+
+    /// Enables or disables two-level minimisation.
+    #[must_use]
+    pub fn minimize(mut self, enabled: bool) -> Self {
+        self.config.pipeline.synth.minimize = enabled;
+        self
+    }
+
+    /// Sets the BIST pattern budget per self-test session.
+    #[must_use]
+    pub fn patterns_per_session(mut self, patterns: usize) -> Self {
+        self.config.pipeline.patterns_per_session = patterns;
+        self
+    }
+
+    /// Sets the gate-level stage limits.
+    #[must_use]
+    pub fn gate_level(mut self, limits: GateLevelLimits) -> Self {
+        self.config.pipeline.gate_level = limits;
+        self
+    }
+
+    /// Sets the per-machine wall-clock safety net.
+    #[must_use]
+    pub fn machine_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.config.pipeline.machine_timeout = timeout;
+        self
+    }
+
+    /// Sets the per-stage wall-clock deadline.
+    #[must_use]
+    pub fn stage_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.config.stage_deadline = deadline;
+        self
+    }
+
+    /// Finishes the builder.  Infallible: every layer was validated as it
+    /// was applied.
+    #[must_use]
+    pub fn build(self) -> Synthesis {
+        Synthesis {
+            config: self.config,
+            observer: self.observer,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The session
+// ---------------------------------------------------------------------------
+
+/// A synthesis session: one effective configuration plus an optional
+/// observer, driving any number of machines through the staged flow.
+///
+/// See the crate-level docs for the artifact flow and the
+/// [`SynthesisBuilder`] docs for the configuration layers.
+#[derive(Clone)]
+pub struct Synthesis {
+    config: StcConfig,
+    observer: Arc<dyn Observer>,
+}
+
+impl std::fmt::Debug for Synthesis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Synthesis")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Synthesis {
+    fn default() -> Self {
+        Self::builder().build()
+    }
+}
+
+/// Adapts the session observer (plus an optional per-stage deadline) onto
+/// the engine-level [`SearchObserver`] for one machine's solve stage.
+struct SolveAdapter<'a> {
+    machine: &'a str,
+    observer: &'a dyn Observer,
+    deadline: Option<Instant>,
+    deadline_hit: AtomicBool,
+}
+
+impl SearchObserver for SolveAdapter<'_> {
+    fn on_progress(&self, nodes: u64) {
+        self.observer.on_event(&Event::SolverProgress {
+            machine: self.machine,
+            nodes,
+        });
+    }
+
+    fn on_incumbent(&self, cost: Cost) {
+        self.observer.on_event(&Event::IncumbentImproved {
+            machine: self.machine,
+            register_bits: cost.register_bits(),
+        });
+    }
+
+    fn on_budget_exhausted(&self) {
+        self.observer.on_event(&Event::BudgetExhausted {
+            machine: self.machine,
+        });
+    }
+
+    fn should_stop(&self) -> bool {
+        if self.observer.should_cancel() {
+            return true;
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.deadline_hit.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+}
+
+impl Synthesis {
+    /// Starts a builder with crate-default configuration and no observer.
+    #[must_use]
+    pub fn builder() -> SynthesisBuilder {
+        SynthesisBuilder::default()
+    }
+
+    /// A session with crate-default configuration and no observer.
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        Self::default()
+    }
+
+    /// The session's effective configuration (all layers applied).
+    #[must_use]
+    pub fn config(&self) -> &StcConfig {
+        &self.config
+    }
+
+    fn emit(&self, event: Event<'_>) {
+        self.observer.on_event(&event);
+    }
+
+    fn stage_deadline(&self) -> Option<Instant> {
+        self.config.stage_deadline.map(|d| Instant::now() + d)
+    }
+
+    // -- typed partial flows -----------------------------------------------
+
+    /// Runs only the OSTR decomposition stage: search for the cheapest
+    /// symmetric partition pair, realize it (Theorem 1) and verify the
+    /// realization.  Infallible — even a cancelled or budget-exhausted
+    /// search has a best-so-far solution (the trivial doubling pair at
+    /// worst), so the returned artifact is always well-formed.
+    #[must_use]
+    pub fn decompose_only(&self, machine: &Mealy) -> Decomposition {
+        self.decompose_tracked(machine).0
+    }
+
+    /// [`Self::decompose_only`] plus whether a cancellation was caused by
+    /// the per-stage deadline (as opposed to the observer) — [`Self::run`]
+    /// needs the distinction to report `timeout` vs `cancelled` correctly.
+    fn decompose_tracked(&self, machine: &Mealy) -> (Decomposition, bool) {
+        self.emit(Event::StageStarted {
+            machine: machine.name(),
+            stage: stage_names::SOLVE,
+        });
+        let adapter = SolveAdapter {
+            machine: machine.name(),
+            observer: self.observer.as_ref(),
+            deadline: self.stage_deadline(),
+            deadline_hit: AtomicBool::new(false),
+        };
+        let outcome =
+            OstrSolver::new(self.config.pipeline.solver).solve_observed(machine, &adapter);
+        let realization = outcome.best.realize(machine);
+        let verified = realization.verify(machine).is_none();
+        self.emit(Event::StageFinished {
+            machine: machine.name(),
+            stage: stage_names::SOLVE,
+        });
+        let deadline_hit = adapter.deadline_hit.load(Ordering::Relaxed);
+        (
+            Decomposition {
+                machine: machine.clone(),
+                outcome,
+                realization,
+                verified,
+            },
+            deadline_hit,
+        )
+    }
+
+    /// Resumes a flow from a [`Decomposition`]: runs the state-assignment
+    /// stage, producing the bit-level pipeline view.
+    ///
+    /// Fails when the decomposition's realization did not verify or when the
+    /// machine exceeds the configured gate-level limits.
+    pub fn encode(&self, decomposition: &Decomposition) -> Result<Encoded, SessionError> {
+        let machine = &decomposition.machine;
+        if !decomposition.verified {
+            return Err(SessionError::RealizationInvalid {
+                machine: machine.name().to_string(),
+            });
+        }
+        let limits = self.config.pipeline.gate_level;
+        if machine.num_states() > limits.max_states || machine.num_inputs() > limits.max_inputs {
+            return Err(SessionError::GateLevelLimit {
+                machine: machine.name().to_string(),
+                states: machine.num_states(),
+                inputs: machine.num_inputs(),
+                limits,
+            });
+        }
+        self.emit(Event::StageStarted {
+            machine: machine.name(),
+            stage: stage_names::ENCODE,
+        });
+        let strategy = self.config.pipeline.encoding;
+        let pipeline = EncodedPipeline::new(machine, &decomposition.realization, strategy);
+        self.emit(Event::StageFinished {
+            machine: machine.name(),
+            stage: stage_names::ENCODE,
+        });
+        Ok(Encoded {
+            name: machine.name().to_string(),
+            pipeline,
+            strategy,
+        })
+    }
+
+    /// Resumes a flow from an [`Encoded`] artifact: two-level minimisation
+    /// and netlist construction for `C1`, `C2` and the output logic.
+    #[must_use]
+    pub fn synthesize_logic(&self, encoded: &Encoded) -> Netlist {
+        self.emit(Event::StageStarted {
+            machine: &encoded.name,
+            stage: stage_names::LOGIC,
+        });
+        let logic = synthesize_pipeline(&encoded.pipeline, self.config.pipeline.synth);
+        self.emit(Event::StageFinished {
+            machine: &encoded.name,
+            stage: stage_names::LOGIC,
+        });
+        Netlist {
+            name: encoded.name.clone(),
+            logic,
+        }
+    }
+
+    /// Resumes a flow from a [`Netlist`]: plans the two self-test sessions
+    /// and estimates signature-based fault coverage.
+    #[must_use]
+    pub fn plan_bist(&self, netlist: &Netlist) -> BistPlan {
+        self.emit(Event::StageStarted {
+            machine: &netlist.name,
+            stage: stage_names::BIST,
+        });
+        let result = pipeline_self_test(&netlist.logic, self.config.pipeline.patterns_per_session);
+        self.emit(Event::StageFinished {
+            machine: &netlist.name,
+            stage: stage_names::BIST,
+        });
+        BistPlan {
+            name: netlist.name.clone(),
+            result,
+        }
+    }
+
+    // -- full flows --------------------------------------------------------
+
+    /// Drives one corpus entry through the full flow and assembles its
+    /// [`MachineReport`] — byte-identical to the reports of the deprecated
+    /// [`crate::run_machine`] for observer-free sessions.
+    #[must_use]
+    pub fn run(&self, entry: &CorpusEntry) -> MachineReport {
+        let config = &self.config.pipeline;
+        let machine_deadline = config.machine_timeout.map(|t| Instant::now() + t);
+        let machine = &entry.machine;
+        let mut report = MachineReport {
+            name: machine.name().to_string(),
+            status: MachineStatus::Full,
+            states: machine.num_states(),
+            inputs: machine.num_inputs(),
+            outputs: machine.num_outputs(),
+            solve: None,
+            paper_table1: entry.table1,
+            paper_table2: entry.table2,
+            logic: None,
+            bist: None,
+        };
+        let finish = |mut report: MachineReport, status: MachineStatus| {
+            report.status = status;
+            self.emit(Event::MachineFinished {
+                machine: &report.name,
+                status: report.status.as_json_str(),
+            });
+            report
+        };
+
+        // Stage 1: OSTR lattice search plus the Theorem 1 realization.
+        let (decomposition, solve_deadline_hit) = self.decompose_tracked(machine);
+        report.solve = Some(decomposition.solve_report());
+        if !decomposition.verified {
+            return finish(
+                report,
+                MachineStatus::Error(
+                    "the realization of the best OSTR solution does not realize the \
+                     specification"
+                        .into(),
+                ),
+            );
+        }
+        if decomposition.cancelled() {
+            // The solve stage stops cooperatively for exactly two reasons:
+            // the per-stage deadline (a timeout) or the observer (a
+            // cancellation).  The adapter's flag — not a re-poll of the
+            // observer, which may have stopped requesting by now — tells
+            // them apart.
+            return finish(
+                report,
+                if solve_deadline_hit {
+                    MachineStatus::TimedOut
+                } else {
+                    MachineStatus::Cancelled
+                },
+            );
+        }
+        if past(machine_deadline) {
+            return finish(report, MachineStatus::TimedOut);
+        }
+        if self.observer.should_cancel() {
+            return finish(report, MachineStatus::Cancelled);
+        }
+
+        // Stage 2: state assignment.  `encode` itself checks the gate-level
+        // limits (before emitting any stage event), so over-limit machines
+        // come back as `solve-only` with no duplicate predicate here.  Each
+        // of the remaining stages gets its own deadline window, checked on
+        // completion (they have no internal cancellation points).
+        let stage = self.stage_deadline();
+        let encoded = match self.encode(&decomposition) {
+            Ok(encoded) => encoded,
+            Err(SessionError::GateLevelLimit { .. }) => {
+                return finish(report, MachineStatus::SolveOnly)
+            }
+            Err(SessionError::RealizationInvalid { .. }) => unreachable!("verified above"),
+        };
+        if past(stage) {
+            return finish(report, MachineStatus::TimedOut);
+        }
+
+        // Stage 3: two-level logic synthesis.
+        let stage = self.stage_deadline();
+        let netlist = self.synthesize_logic(&encoded);
+        report.logic = Some(netlist.logic_report());
+        if past(machine_deadline) || past(stage) {
+            return finish(report, MachineStatus::TimedOut);
+        }
+        if self.observer.should_cancel() {
+            return finish(report, MachineStatus::Cancelled);
+        }
+
+        // Stage 4: two-session self-test planning and coverage estimation.
+        // The machine-level timeout is deliberately not checked after the
+        // last stage (matching the pre-session runner); the stage deadline
+        // is, since a blown window is a per-stage fact.
+        let stage = self.stage_deadline();
+        let plan = self.plan_bist(&netlist);
+        report.bist = Some(plan.bist_report());
+        if past(stage) {
+            return finish(report, MachineStatus::TimedOut);
+        }
+        finish(report, MachineStatus::Full)
+    }
+
+    /// Runs the whole corpus on the session's worker pool (the resolved
+    /// `jobs` value; `1` selects the serial fallback, which produces
+    /// byte-identical reports) and assembles the [`crate::SuiteReport`] in
+    /// corpus order.
+    ///
+    /// Cancellation stops workers from claiming further machines; machines
+    /// never started are reported with [`MachineStatus::Cancelled`] and no
+    /// stage sections, so the report always covers the full corpus.
+    #[must_use]
+    pub fn run_suite(&self, entries: &[CorpusEntry], suite_name: &str) -> SuiteRun {
+        let jobs = self.config.resolve_jobs();
+        let results: Vec<Option<(MachineReport, Duration)>> = if jobs <= 1 || entries.len() <= 1 {
+            entries
+                .iter()
+                .map(|entry| (!self.observer.should_cancel()).then(|| self.timed_run(entry)))
+                .collect()
+        } else {
+            self.run_parallel(entries, jobs.min(entries.len()))
+        };
+
+        let mut machines = Vec::with_capacity(results.len());
+        let mut timings = Vec::with_capacity(results.len());
+        let mut summary = SuiteSummary {
+            machines: results.len(),
+            ..SuiteSummary::default()
+        };
+        for (entry, result) in entries.iter().zip(results) {
+            let (report, elapsed) = result.unwrap_or_else(|| {
+                // Never started: a cancelled placeholder keeps the report
+                // corpus-shaped.
+                (
+                    MachineReport {
+                        name: entry.machine.name().to_string(),
+                        status: MachineStatus::Cancelled,
+                        states: entry.machine.num_states(),
+                        inputs: entry.machine.num_inputs(),
+                        outputs: entry.machine.num_outputs(),
+                        solve: None,
+                        paper_table1: entry.table1,
+                        paper_table2: entry.table2,
+                        logic: None,
+                        bist: None,
+                    },
+                    Duration::ZERO,
+                )
+            });
+            match &report.status {
+                MachineStatus::Full => summary.full += 1,
+                MachineStatus::SolveOnly => summary.solve_only += 1,
+                MachineStatus::TimedOut => summary.timed_out += 1,
+                MachineStatus::Cancelled => summary.cancelled += 1,
+                MachineStatus::Error(_) => summary.errors += 1,
+            }
+            if let Some(solve) = &report.solve {
+                summary.nontrivial += usize::from(solve.nontrivial);
+                summary.conventional_bist_ff_total += u64::from(solve.conventional_bist_ff);
+                summary.pipeline_ff_total += u64::from(solve.pipeline_ff);
+            }
+            timings.push(MachineTiming {
+                name: report.name.clone(),
+                elapsed,
+            });
+            machines.push(report);
+        }
+
+        SuiteRun {
+            report: SuiteReport {
+                suite: suite_name.to_string(),
+                config: echo_config(&self.config.pipeline),
+                machines,
+                summary,
+            },
+            timings,
+        }
+    }
+
+    fn timed_run(&self, entry: &CorpusEntry) -> (MachineReport, Duration) {
+        let start = Instant::now();
+        let report = self.run(entry);
+        (report, start.elapsed())
+    }
+
+    /// The scoped worker pool: `jobs` std threads pull machine indices from
+    /// a shared atomic counter and deposit results into per-index slots, so
+    /// the output order is the corpus order regardless of completion order.
+    /// Workers poll the observer before claiming, so cancellation leaves
+    /// unclaimed slots empty.
+    fn run_parallel(
+        &self,
+        entries: &[CorpusEntry],
+        jobs: usize,
+    ) -> Vec<Option<(MachineReport, Duration)>> {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<(MachineReport, Duration)>>> =
+            entries.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    if self.observer.should_cancel() {
+                        break;
+                    }
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(entry) = entries.get(index) else {
+                        break;
+                    };
+                    let result = self.timed_run(entry);
+                    *slots[index].lock().expect("no panics while holding lock") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("worker threads joined"))
+            .collect()
+    }
+}
+
+/// The deterministic configuration echo of a report — the *effective*
+/// configuration after all [`StcConfig`] layers.
+///
+/// `jobs` and `solver.parallel_subtrees` are deliberately *not* echoed: both
+/// are byte-invisible in results, and echoing them would make golden reports
+/// machine-dependent.
+pub(crate) fn echo_config(config: &PipelineConfig) -> crate::report::ConfigEcho {
+    crate::report::ConfigEcho {
+        max_nodes: config.solver.max_nodes,
+        lemma1_pruning: config.solver.lemma1_pruning,
+        stop_at_lower_bound: config.solver.stop_at_lower_bound,
+        branch_and_bound: config.solver.branch_and_bound,
+        encoding: format!("{:?}", config.encoding).to_ascii_lowercase(),
+        minimize: config.synth.minimize,
+        patterns_per_session: config.patterns_per_session,
+        gate_level_max_states: config.gate_level.max_states,
+        gate_level_max_inputs: config.gate_level.max_inputs,
+    }
+}
+
+fn past(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{embedded_corpus, filter_by_names};
+    use crate::observe::CancelFlag;
+    use stc_fsm::paper_example;
+
+    fn small_session() -> Synthesis {
+        Synthesis::builder()
+            .max_nodes(10_000)
+            .set("solver.stop_at_lower_bound", "true")
+            .unwrap()
+            .patterns_per_session(32)
+            .jobs(1)
+            .build()
+    }
+
+    #[test]
+    fn typed_flow_reaches_the_bist_plan() {
+        let session = small_session();
+        let machine = paper_example();
+        let decomposition = session.decompose_only(&machine);
+        assert!(decomposition.verified);
+        assert!(!decomposition.cancelled());
+        assert_eq!(decomposition.pipeline_flipflops(), 2);
+        let encoded = session.encode(&decomposition).unwrap();
+        let netlist = session.synthesize_logic(&encoded);
+        assert_eq!(
+            netlist.logic_report().r1_bits + netlist.logic_report().r2_bits,
+            2
+        );
+        let plan = session.plan_bist(&netlist);
+        assert!(plan.bist_report().overall_coverage > 0.5);
+    }
+
+    #[test]
+    fn gate_level_limit_is_a_typed_error() {
+        let session = Synthesis::builder()
+            .gate_level(GateLevelLimits {
+                max_states: 1,
+                max_inputs: 1,
+            })
+            .build();
+        let decomposition = session.decompose_only(&paper_example());
+        match session.encode(&decomposition) {
+            Err(SessionError::GateLevelLimit { states, .. }) => assert_eq!(states, 4),
+            other => panic!("expected a gate-level error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn artifacts_resume_across_sessions() {
+        let machine = paper_example();
+        let decomposition = small_session().decompose_only(&machine);
+        // A different session picks the stored artifact up later.
+        let resumer = Synthesis::builder().patterns_per_session(16).build();
+        let encoded = resumer.encode(&decomposition).unwrap();
+        let plan = resumer.plan_bist(&resumer.synthesize_logic(&encoded));
+        assert_eq!(plan.result.session1.patterns, 16);
+    }
+
+    #[test]
+    fn cancelled_corpus_run_reports_cancelled_machines() {
+        let flag = CancelFlag::shared();
+        flag.cancel();
+        let session = Synthesis::builder().observer(flag).jobs(1).build();
+        let corpus = filter_by_names(embedded_corpus(), &["tav".to_string()]).unwrap();
+        let run = session.run_suite(&corpus, "test");
+        assert_eq!(run.report.machines[0].status, MachineStatus::Cancelled);
+        assert_eq!(run.report.summary.cancelled, 1);
+        let json = run.report.to_json_string();
+        assert!(json.contains("\"cancelled\""));
+    }
+}

@@ -1,15 +1,17 @@
 //! Runs the batch-synthesis pipeline over the whole embedded benchmark suite
 //! and prints the paper-vs-measured summary — the same flow `stc run` exposes
-//! on the command line, driven through the library API.
+//! on the command line, driven through the `Synthesis` session API.
 //!
 //! Run with `cargo run --release --example benchmark_sweep`.
 
-use stc::pipeline::{embedded_corpus, format_summary_table, run_corpus, PipelineConfig};
+use stc::pipeline::{embedded_corpus, format_summary_table, Synthesis};
 
 fn main() {
     let corpus = embedded_corpus();
-    let jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let run = run_corpus(&corpus, &PipelineConfig::default(), jobs, "embedded");
+    // `jobs(0)` means auto-detect via available parallelism — the resolved
+    // count never influences the report.
+    let session = Synthesis::builder().jobs(0).build();
+    let run = session.run_suite(&corpus, "embedded");
 
     print!("{}", format_summary_table(&run.report));
 

@@ -1,7 +1,9 @@
 //! Gate-level self-test of one controller: compares the fault coverage and
 //! hardware cost of the conventional BIST structure (Fig. 2) against the
 //! pipeline structure (Fig. 4) on the `shiftreg` benchmark, then runs the
-//! two-session signature-based self-test.
+//! two-session signature-based self-test at several pattern budgets by
+//! resuming the *same* decomposition/netlist artifacts under differently
+//! configured sessions.
 //!
 //! Run with `cargo run --example bist_session`.
 
@@ -37,21 +39,28 @@ fn main() {
         );
     }
 
-    // Full pipeline synthesis and the two-session self-test.
-    let outcome = solve(&machine);
-    let realization = outcome.best.realize(&machine);
-    let encoded = EncodedPipeline::new(&machine, &realization, EncodingStrategy::Binary);
-    let pipeline = synthesize_pipeline(&encoded, SynthOptions::default());
+    // Full pipeline synthesis through the session API.  The expensive
+    // artifacts (decomposition, netlist) are produced once…
+    let session = Synthesis::with_defaults();
+    let decomposition = session.decompose_only(&machine);
+    let encoded = session
+        .encode(&decomposition)
+        .expect("within gate-level limits");
+    let netlist = session.synthesize_logic(&encoded);
     println!(
         "\npipeline realization: |S1| = {}, |S2| = {} -> R1 = {} bits, R2 = {} bits",
-        realization.s1_len(),
-        realization.s2_len(),
-        encoded.r1_bits,
-        encoded.r2_bits
+        decomposition.realization.s1_len(),
+        decomposition.realization.s2_len(),
+        encoded.pipeline.r1_bits,
+        encoded.pipeline.r2_bits
     );
 
+    // …and the BIST stage is re-planned under different budgets by resuming
+    // the stored netlist artifact — partial flows are first-class.
     for patterns in [8usize, 32, 128] {
-        let result = pipeline_self_test(&pipeline, patterns);
+        let budgeted = Synthesis::builder().patterns_per_session(patterns).build();
+        let plan = budgeted.plan_bist(&netlist);
+        let result = &plan.result;
         println!(
             "self-test with {:>3} patterns/session: C1 {:.1}% ({}/{} faults), C2 {:.1}% ({}/{} faults), good signatures {:#x}/{:#x}",
             patterns,

@@ -1,4 +1,6 @@
-//! Quickstart: the paper's worked example (Figs. 5–8) end to end.
+//! Quickstart: the paper's worked example (Figs. 5–8) end to end, driven
+//! through the `Synthesis` session API and its typed artifacts
+//! (`Decomposition → Encoded → Netlist → BistPlan`).
 //!
 //! Run with `cargo run --example quickstart`.
 
@@ -13,8 +15,17 @@ fn main() {
     let eps = state_equivalence(&machine);
     println!("state equivalence ε = {eps}\n");
 
-    // Solve problem OSTR: find the cheapest symmetric partition pair.
-    let outcome = solve(&machine);
+    // One session carries the whole (layered) configuration.
+    let session = Synthesis::builder()
+        .patterns_per_session(128)
+        .encoding(EncodingStrategy::Binary)
+        .build();
+
+    // Stage 1 — solve problem OSTR and realize the best pair (Theorem 1).
+    // `decompose_only` is a first-class partial flow: the artifact can be
+    // stored and resumed later.
+    let decomposition = session.decompose_only(&machine);
+    let outcome = &decomposition.outcome;
     println!(
         "OSTR solution: π = {}, τ = {}  ({})",
         outcome.best.pi, outcome.best.tau, outcome.best.cost
@@ -23,31 +34,33 @@ fn main() {
         "search statistics: basis |M| = {}, nodes investigated = {}, subtrees pruned = {}\n",
         outcome.stats.basis_size, outcome.stats.nodes_investigated, outcome.stats.subtrees_pruned
     );
-
-    // Theorem 1: build the pipeline realization M* and verify it.
-    let realization = outcome.best.realize(&machine);
-    assert!(realization.verify(&machine).is_none());
+    assert!(decomposition.verified);
     println!(
         "realization M*: |S1| = {}, |S2| = {} (Fig. 8 structure, {} flip-flops)",
-        realization.s1_len(),
-        realization.s2_len(),
-        outcome.pipeline_flipflops()
+        decomposition.realization.s1_len(),
+        decomposition.realization.s2_len(),
+        decomposition.pipeline_flipflops()
     );
-    println!("δ1 table: {:?}", realization.tables.delta1);
-    println!("δ2 table: {:?}", realization.tables.delta2);
+    println!("δ1 table: {:?}", decomposition.realization.tables.delta1);
+    println!("δ2 table: {:?}", decomposition.realization.tables.delta2);
 
-    // State coding + logic minimisation (the second synthesis step).
-    let encoded = EncodedPipeline::new(&machine, &realization, EncodingStrategy::Binary);
-    let pipeline = synthesize_pipeline(&encoded, SynthOptions::default());
+    // Stage 2 + 3 — state coding and logic minimisation, resumed from the
+    // decomposition artifact.
+    let encoded = session
+        .encode(&decomposition)
+        .expect("within gate-level limits");
+    let netlist = session.synthesize_logic(&encoded);
     println!(
         "\nsynthesised pipeline logic: C1 = {} literals, C2 = {} literals, output logic = {} literals",
-        pipeline.c1.literal_count(),
-        pipeline.c2.literal_count(),
-        pipeline.output.literal_count()
+        netlist.logic.c1.literal_count(),
+        netlist.logic.c2.literal_count(),
+        netlist.logic.output.literal_count()
     );
 
-    // Two-session self-test (R1 generates / R2 analyses, then swapped).
-    let self_test = pipeline_self_test(&pipeline, 128);
+    // Stage 4 — the two-session self-test (R1 generates / R2 analyses, then
+    // swapped).
+    let plan = session.plan_bist(&netlist);
+    let self_test = &plan.result;
     println!(
         "self-test: session 1 ({}) coverage {:.1}%, session 2 ({}) coverage {:.1}%, overall {:.1}%",
         self_test.session1.block,

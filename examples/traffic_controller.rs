@@ -1,6 +1,7 @@
 //! A realistic scenario: a traffic-light / walk-request intersection
 //! controller is specified as a Mealy machine in KISS2, synthesised into a
-//! self-testable pipeline structure, and self-tested.
+//! self-testable pipeline structure through the `Synthesis` session API, and
+//! self-tested.
 //!
 //! Run with `cargo run --example traffic_controller`.
 
@@ -60,29 +61,39 @@ fn main() {
         conventional.block.netlist.depth()
     );
 
-    // Self-testable synthesis (Fig. 4).
-    let outcome = solve(&machine);
+    // Self-testable synthesis (Fig. 4), configured through the layered
+    // session builder: the profile text plays the role of a config file, and
+    // the typed setter layers a "CLI" override on top.
+    let session = Synthesis::builder()
+        .profile("[bist]\npatterns = 128\n")
+        .expect("embedded profile is valid")
+        .patterns_per_session(256)
+        .build();
+
+    let decomposition = session.decompose_only(&machine);
     println!(
         "OSTR solution: |S1| = {}, |S2| = {} -> {} flip-flops (conventional BIST would need {})",
-        outcome.best.cost.s1(),
-        outcome.best.cost.s2(),
-        outcome.pipeline_flipflops(),
+        decomposition.outcome.best.cost.s1(),
+        decomposition.outcome.best.cost.s2(),
+        decomposition.pipeline_flipflops(),
         2 * encoded.state_bits
     );
-    let realization = outcome.best.realize(&machine);
-    assert!(realization.verify(&machine).is_none());
+    assert!(decomposition.verified);
 
-    let encoded_pipe = EncodedPipeline::new(&machine, &realization, EncodingStrategy::Binary);
-    let pipeline = synthesize_pipeline(&encoded_pipe, SynthOptions::default());
+    let encoded_pipe = session
+        .encode(&decomposition)
+        .expect("within gate-level limits");
+    let netlist = session.synthesize_logic(&encoded_pipe);
     println!(
         "pipeline logic: C1 = {} gates, C2 = {} gates, output logic = {} gates",
-        pipeline.c1.netlist.gate_count(),
-        pipeline.c2.netlist.gate_count(),
-        pipeline.output.netlist.gate_count()
+        netlist.logic.c1.netlist.gate_count(),
+        netlist.logic.c2.netlist.gate_count(),
+        netlist.logic.output.netlist.gate_count()
     );
 
     // Run the built-in self-test.
-    let result = pipeline_self_test(&pipeline, 256);
+    let plan = session.plan_bist(&netlist);
+    let result = &plan.result;
     println!(
         "self-test coverage: C1 {:.1}% ({} of {} faults), C2 {:.1}% ({} of {} faults)",
         100.0 * result.session1.coverage(),
@@ -95,6 +106,7 @@ fn main() {
 
     // Sanity check: the realization behaves like the specification on a
     // realistic input trace (cars arriving, one walk request).
+    let realization = &decomposition.realization;
     let trace: Vec<usize> = vec![0b00, 0b10, 0b10, 0b00, 0b01, 0b00, 0b00, 0b00, 0b00, 0b00];
     let (spec_out, _) = machine.run_from_reset(&trace);
     let (real_out, _) = realization

@@ -1,30 +1,39 @@
 //! The `stc` command-line interface: batch synthesis of self-testable
-//! controllers over a corpus, plus the perf-regression gate used in CI.
+//! controllers over a corpus, a long-lived JSON-lines service, and the
+//! perf-regression gate used in CI.
 //!
 //! * `stc run` — drive the full flow (OSTR solve → encode → logic → BIST)
 //!   over the embedded benchmark suite or a directory of KISS2 files, in
 //!   parallel, and emit a deterministic JSON report.
+//! * `stc serve` — serve one-machine synthesis requests over
+//!   stdin/stdout (one JSON request per line, one JSON response per line).
 //! * `stc bench-check` — run the bench harness and compare against the
 //!   committed `crates/bench/BENCH_*.json` baselines with a relative
 //!   tolerance; non-zero exit on regression.
 //! * `stc list` — list the machines of a corpus.
 //!
-//! See the README for the JSON report schema and the re-baselining workflow.
+//! All commands layer configuration the same way: crate defaults, then an
+//! optional `--profile` file, then individual flags — the `stc::Synthesis`
+//! session's `StcConfig` layers.  See the README for the JSON report schema
+//! and the re-baselining workflow.
 
 use stc::pipeline::{
     compare_benchmarks, embedded_corpus, filter_by_names, format_summary_table, kiss2_corpus,
-    load_baseline_dir, run_corpus, search_stats_json, BenchMeasurement, CorpusEntry,
-    PipelineConfig, PipelineError, SuiteRun,
+    load_baseline_dir, search_stats_json, serve, BenchMeasurement, CorpusEntry, Event, Observer,
+    PipelineError, StcConfig, SuiteRun, Synthesis,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::Instant;
 
 const USAGE: &str = "\
 stc — synthesis of self-testable controllers (Hellebrand & Wunderlich, EURO-DAC '94)
 
 USAGE:
     stc run [OPTIONS]            run the batch pipeline and print a JSON report
+    stc serve [OPTIONS]          serve synthesis requests over stdin/stdout
+                                 (JSON lines; see README 'The serve protocol')
     stc list [OPTIONS]           list the machines of the selected corpus
     stc bench-check [OPTIONS]    compare bench results against committed baselines
     stc help                     print this message
@@ -34,8 +43,10 @@ CORPUS OPTIONS (run, list):
     --kiss2 <DIR>                load every *.kiss2 / *.kiss file of a directory
     --machine <NAME>             restrict to the named machine (repeatable)
 
-RUN OPTIONS:
-    --jobs <N>                   worker threads (default: available parallelism;
+CONFIG OPTIONS (run, serve; layered over --profile, which layers over defaults):
+    --profile <FILE>             a TOML-style profile ([section] + key = value
+                                 lines; full key list at the bottom)
+    --jobs <N>                   worker threads (0 = auto-detect, the default;
                                  1 selects the serial fallback — same output)
     --solver-jobs <N>            threads for the OSTR solver's parallel subtree
                                  exploration per machine (default 1; any value
@@ -43,17 +54,24 @@ RUN OPTIONS:
     --no-bnb                     disable the solver's branch-and-bound pruning
                                  (changes search statistics, not the reported
                                  solution; tie corner: DESIGN.md §5)
-    --out <FILE>                 write the JSON report to FILE instead of stdout
-    --stats-out <FILE>           also write the per-machine search-effort stats
-                                 (the CI search-stats gate artefact) to FILE
     --max-nodes <N>              OSTR solver node budget per machine (default 100000)
     --patterns <N>               BIST patterns per self-test session (default 256)
     --gate-states <N>            max |S| for the gate-level stages (default 10)
     --gate-inputs <N>            max input-alphabet size for gate level (default 16)
     --no-minimize                skip two-level minimisation
     --timeout-secs <S>           per-machine wall-clock safety net, checked between
-                                 stages (default: off; using it can make reports
-                                 depend on machine speed)
+                                 stages (0 = off, the default; using it can make
+                                 reports depend on machine speed)
+    --stage-deadline-secs <S>    per-stage wall-clock deadline (default: off; the
+                                 solve stage honours it by cooperative cancellation)
+    --set <KEY=VALUE>            any dotted config key (e.g. encoding=gray),
+                                 repeatable — the full key list is at the bottom
+
+RUN OPTIONS:
+    --progress                   live per-stage / solver-progress events on stderr
+    --out <FILE>                 write the JSON report to FILE instead of stdout
+    --stats-out <FILE>           also write the per-machine search-effort stats
+                                 (the CI search-stats gate artefact) to FILE
 
 BENCH-CHECK OPTIONS:
     --baseline-dir <DIR>         committed baselines (default: crates/bench)
@@ -63,28 +81,42 @@ BENCH-CHECK OPTIONS:
                                  (default 0.30; --tolerance is an alias)
 
 The JSON report contains no wall-clock values: for a fixed corpus and options
-it is byte-identical for any --jobs value, so CI diffs it against a golden
-file.  Timings go to stderr.
+it is byte-identical for any --jobs / --solver-jobs value, so CI diffs it
+against a golden file.  Timings and --progress events go to stderr.
 ";
+
+/// The full help text: the static usage plus the dotted config-key table
+/// generated from [`stc::pipeline::CONFIG_KEYS`], so the list printed here
+/// can never drift from what `--set`, profile files and serve-request
+/// overrides actually accept.
+fn usage() -> String {
+    let mut out = String::from(USAGE);
+    out.push_str("\nCONFIG KEYS (--set, --profile files, serve-request overrides):\n");
+    for (key, help) in stc::pipeline::CONFIG_KEYS {
+        out.push_str(&format!("    {key:<28} {help}\n"));
+    }
+    out
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        eprint!("{USAGE}");
+        eprint!("{}", usage());
         return ExitCode::from(2);
     };
     let rest = &args[1..];
     let result = match command.as_str() {
         "run" => cmd_run(rest),
+        "serve" => cmd_serve(rest),
         "list" => cmd_list(rest),
         "bench-check" => cmd_bench_check(rest),
         "help" | "--help" | "-h" => {
-            print!("{USAGE}");
+            print!("{}", usage());
             return ExitCode::SUCCESS;
         }
         other => {
             eprintln!("unknown command '{other}'\n");
-            eprint!("{USAGE}");
+            eprint!("{}", usage());
             return ExitCode::from(2);
         }
     };
@@ -105,6 +137,14 @@ struct CorpusArgs {
 }
 
 impl CorpusArgs {
+    fn new() -> Self {
+        Self {
+            suite: "embedded".into(),
+            kiss2: None,
+            machines: Vec::new(),
+        }
+    }
+
     fn load(&self) -> Result<(String, Vec<CorpusEntry>), String> {
         let (label, corpus) = match &self.kiss2 {
             Some(dir) => (
@@ -158,70 +198,163 @@ fn parse_corpus_flag(
     Ok(true)
 }
 
-fn default_jobs() -> usize {
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+/// Flags shared by `run` and `serve` that layer onto the session
+/// configuration.  Collected as `(key, value)` overrides so the layering
+/// order (defaults < profile < flags) holds no matter where `--profile`
+/// appears on the command line.
+struct ConfigArgs {
+    profile: Option<PathBuf>,
+    overrides: Vec<(String, String)>,
+}
+
+impl ConfigArgs {
+    fn new() -> Self {
+        Self {
+            profile: None,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Tries to consume one config flag; `Ok(false)` means the flag is not a
+    /// config flag.
+    fn parse_flag(
+        &mut self,
+        flag: &str,
+        iter: &mut std::slice::Iter<'_, String>,
+    ) -> Result<bool, String> {
+        let mut push = |key: &str, value: String| {
+            self.overrides.push((key.to_string(), value));
+        };
+        match flag {
+            "--profile" => self.profile = Some(PathBuf::from(take_value(flag, iter)?)),
+            "--jobs" => push("jobs", take_value(flag, iter)?.clone()),
+            "--solver-jobs" => push("solver.jobs", take_value(flag, iter)?.clone()),
+            "--no-bnb" => push("solver.branch_and_bound", "false".into()),
+            "--max-nodes" => push("solver.max_nodes", take_value(flag, iter)?.clone()),
+            "--patterns" => push("bist.patterns", take_value(flag, iter)?.clone()),
+            "--gate-states" => push("gate_level.max_states", take_value(flag, iter)?.clone()),
+            "--gate-inputs" => push("gate_level.max_inputs", take_value(flag, iter)?.clone()),
+            "--no-minimize" => push("synth.minimize", "false".into()),
+            "--timeout-secs" => push("machine_timeout_secs", take_value(flag, iter)?.clone()),
+            "--stage-deadline-secs" => {
+                push("stage_deadline_secs", take_value(flag, iter)?.clone());
+            }
+            "--set" => {
+                let pair = take_value(flag, iter)?;
+                let (key, value) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("--set expects KEY=VALUE, got '{pair}'"))?;
+                push(key.trim(), value.trim().to_string());
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Builds the effective configuration: defaults < profile < flags.
+    fn build(&self) -> Result<StcConfig, String> {
+        let mut config = StcConfig::default();
+        if let Some(path) = &self.profile {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read profile {}: {e}", path.display()))?;
+            config
+                .apply_profile(&text)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+        }
+        for (key, value) in &self.overrides {
+            config.set(key, value).map_err(|e| e.to_string())?;
+        }
+        Ok(config)
+    }
+}
+
+/// The `--progress` observer: one line per event on stderr, timestamped
+/// relative to the start of the run.  Purely a side channel — the JSON
+/// report is unaffected.
+struct ProgressObserver {
+    start: Instant,
+}
+
+impl ProgressObserver {
+    fn new() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    fn line(&self, machine: &str, what: &str) {
+        eprintln!(
+            "[{:9.3}s] {:<10} {what}",
+            self.start.elapsed().as_secs_f64(),
+            machine
+        );
+    }
+}
+
+impl Observer for ProgressObserver {
+    fn on_event(&self, event: &Event<'_>) {
+        match event {
+            Event::StageStarted { machine, stage } => self.line(machine, &format!("{stage} …")),
+            Event::StageFinished { machine, stage } => self.line(machine, &format!("{stage} ok")),
+            Event::SolverProgress { machine, nodes } => {
+                self.line(machine, &format!("solve {nodes} nodes"));
+            }
+            Event::IncumbentImproved {
+                machine,
+                register_bits,
+            } => self.line(machine, &format!("incumbent {register_bits} register bits")),
+            Event::BudgetExhausted { machine } => self.line(machine, "solve budget exhausted"),
+            Event::MachineFinished { machine, status } => {
+                self.line(machine, &format!("finished: {status}"));
+            }
+        }
+    }
 }
 
 fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
-    let mut corpus_args = CorpusArgs {
-        suite: "embedded".into(),
-        kiss2: None,
-        machines: Vec::new(),
-    };
-    let mut config = PipelineConfig::default();
-    let mut jobs = default_jobs();
+    let mut corpus_args = CorpusArgs::new();
+    let mut config_args = ConfigArgs::new();
     let mut out: Option<PathBuf> = None;
     let mut stats_out: Option<PathBuf> = None;
+    let mut progress = false;
 
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
-        if parse_corpus_flag(flag, &mut iter, &mut corpus_args)? {
+        if parse_corpus_flag(flag, &mut iter, &mut corpus_args)?
+            || config_args.parse_flag(flag, &mut iter)?
+        {
             continue;
         }
         match flag.as_str() {
-            "--jobs" => jobs = parse_number(flag, take_value(flag, &mut iter)?)?,
-            "--solver-jobs" => {
-                config.solver.parallel_subtrees = parse_number(flag, take_value(flag, &mut iter)?)?;
-            }
-            "--no-bnb" => config.solver.branch_and_bound = false,
+            "--progress" => progress = true,
             "--out" => out = Some(PathBuf::from(take_value(flag, &mut iter)?)),
             "--stats-out" => stats_out = Some(PathBuf::from(take_value(flag, &mut iter)?)),
-            "--max-nodes" => {
-                config.solver.max_nodes = parse_number(flag, take_value(flag, &mut iter)?)?;
-            }
-            "--patterns" => {
-                config.patterns_per_session = parse_number(flag, take_value(flag, &mut iter)?)?;
-            }
-            "--gate-states" => {
-                config.gate_level.max_states = parse_number(flag, take_value(flag, &mut iter)?)?;
-            }
-            "--gate-inputs" => {
-                config.gate_level.max_inputs = parse_number(flag, take_value(flag, &mut iter)?)?;
-            }
-            "--no-minimize" => config.synth.minimize = false,
-            "--timeout-secs" => {
-                let secs: u64 = parse_number(flag, take_value(flag, &mut iter)?)?;
-                config.machine_timeout = Some(Duration::from_secs(secs));
-            }
             other => return Err(format!("unknown flag '{other}' for 'stc run'")),
         }
     }
-    if jobs == 0 {
-        return Err("--jobs must be at least 1".into());
-    }
+    let config = config_args.build()?;
+    let jobs = config.resolve_jobs();
 
     let (label, corpus) = corpus_args.load()?;
     if corpus.is_empty() {
         return Err(PipelineError::EmptyCorpus(label).to_string());
     }
+    // The resolved worker count is logged, never echoed into the report.
     eprintln!(
-        "stc run: {} machines from '{label}', {jobs} worker(s)",
-        corpus.len()
+        "stc run: {} machines from '{label}', {jobs} worker(s){}",
+        corpus.len(),
+        if config.jobs == 0 { " [auto]" } else { "" }
     );
-    let SuiteRun { report, timings } = run_corpus(&corpus, &config, jobs, &label);
+
+    let mut builder = Synthesis::builder().config(config);
+    if progress {
+        builder = builder.observer(Arc::new(ProgressObserver::new()));
+    }
+    let session = builder.build();
+    let SuiteRun { report, timings } = session.run_suite(&corpus, &label);
 
     eprint!("{}", format_summary_table(&report));
-    let total: Duration = timings.iter().map(|t| t.elapsed).sum();
+    let total: std::time::Duration = timings.iter().map(|t| t.elapsed).sum();
     let slowest = timings.iter().max_by_key(|t| t.elapsed);
     if let Some(slowest) = slowest {
         eprintln!(
@@ -246,12 +379,34 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let mut config_args = ConfigArgs::new();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        if !config_args.parse_flag(flag, &mut iter)? {
+            return Err(format!("unknown flag '{flag}' for 'stc serve'"));
+        }
+    }
+    let config = config_args.build()?;
+    let jobs = config.resolve_jobs();
+    eprintln!(
+        "stc serve: ready on stdin/stdout, {jobs} worker(s){} — one JSON request per line",
+        if config.jobs == 0 { " [auto]" } else { "" }
+    );
+    let stdin = std::io::stdin();
+    // `Stdout` (unlike `StdoutLock`) is `Send`; the serve loop serialises
+    // writes behind its own mutex anyway.
+    let stats = serve(stdin.lock(), std::io::stdout(), &config, jobs)
+        .map_err(|e| format!("serve I/O error: {e}"))?;
+    eprintln!(
+        "stc serve: done, {} request(s), {} error response(s)",
+        stats.requests, stats.errors
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
 fn cmd_list(args: &[String]) -> Result<ExitCode, String> {
-    let mut corpus_args = CorpusArgs {
-        suite: "embedded".into(),
-        kiss2: None,
-        machines: Vec::new(),
-    };
+    let mut corpus_args = CorpusArgs::new();
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         if !parse_corpus_flag(flag, &mut iter, &mut corpus_args)? {

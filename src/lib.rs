@@ -26,9 +26,14 @@
 //! | [`bist`] | `stc-bist` | `crates/bist` | LFSR/MISR/BILBO, fault simulation, architecture comparison |
 //! | [`pipeline`] | `stc-pipeline` | `crates/pipeline` | corpus-level batch pipeline, parallel runner, JSON reports, perf-baseline checks |
 //!
-//! The `stc` binary (`src/bin/stc.rs`) exposes the batch pipeline and the
-//! perf-regression gate on the command line; see the README for its flags
-//! and the JSON report schema.
+//! The staged flow is driven through one **session API**: a [`Synthesis`]
+//! built from a layered [`StcConfig`] produces typed artifacts that flow one
+//! into the next — [`Decomposition`] → [`Encoded`] → `Netlist` → [`BistPlan`]
+//! → [`pipeline::MachineReport`] — with progress events and cooperative
+//! cancellation via [`Observer`].  The `stc` binary (`src/bin/stc.rs`)
+//! exposes the same flow as `stc run` (batch), `stc serve` (a JSON-lines
+//! request loop) and the perf-regression gate; see the README for flags,
+//! the report schema and the old-API migration table.
 //!
 //! # Quickstart
 //!
@@ -38,15 +43,18 @@
 //! // The worked example of the paper (Figs. 5-8).
 //! let machine = stc::fsm::paper_example();
 //!
-//! // Solve OSTR: find the cheapest symmetric partition pair.
-//! let outcome = stc::synth::solve(&machine);
-//! assert_eq!(outcome.pipeline_flipflops(), 2);
+//! // One session drives the whole staged flow via typed artifacts.
+//! let session = Synthesis::builder().patterns_per_session(64).build();
+//! let decomposition = session.decompose_only(&machine);
+//! assert_eq!(decomposition.pipeline_flipflops(), 2);
+//! assert!(decomposition.verified);
 //!
-//! // Build the pipeline realization (Theorem 1) and verify it.
-//! let realization = outcome.best.realize(&machine);
-//! assert!(realization.verify(&machine).is_none());
+//! let encoded = session.encode(&decomposition).unwrap();
+//! let netlist = session.synthesize_logic(&encoded);
+//! let plan = session.plan_bist(&netlist);
+//! assert!(plan.result.overall_coverage() > 0.5);
 //!
-//! // Synthesise the logic and compare the four architectures of Figs. 1-4.
+//! // Compare the four architectures of Figs. 1-4.
 //! let reports = stc::bist::evaluate_architectures(&machine, &ArchitectureOptions::default());
 //! assert!(reports[3].flipflops <= reports[1].flipflops);
 //! ```
@@ -78,22 +86,38 @@ pub use stc_bist as bist;
 /// (re-export of [`stc_pipeline`]).
 pub use stc_pipeline as pipeline;
 
+// The session API at the crate root: the primary public surface.
+// (`stc_pipeline::Netlist`, the logic artifact, is reachable as
+// `stc::pipeline::Netlist`; the root keeps `stc::logic::Netlist` for the
+// gate-level type.)
+pub use stc_pipeline::{
+    BistPlan, CancelFlag, ConfigError, Decomposition, Encoded, Event, NullObserver, Observer,
+    SessionError, StcConfig, Synthesis, SynthesisBuilder,
+};
+
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
+    #[allow(deprecated)]
+    pub use stc_bist::BistStage;
     pub use stc_bist::{
         evaluate_architectures, pipeline_self_test, Architecture, ArchitectureOptions, Bilbo,
-        BilboMode, BistStage, Lfsr, Misr,
+        BilboMode, Lfsr, Misr,
     };
-    pub use stc_encoding::{
-        EncodeStage, EncodedMachine, EncodedPipeline, Encoding, EncodingStrategy,
-    };
+    #[allow(deprecated)]
+    pub use stc_encoding::EncodeStage;
+    pub use stc_encoding::{EncodedMachine, EncodedPipeline, Encoding, EncodingStrategy};
     pub use stc_fsm::{kiss2, state_equivalence, Mealy, MealyBuilder};
-    pub use stc_logic::{
-        synthesize_controller, synthesize_pipeline, LogicStage, Netlist, SynthOptions,
-    };
+    #[allow(deprecated)]
+    pub use stc_logic::LogicStage;
+    pub use stc_logic::{synthesize_controller, synthesize_pipeline, Netlist, SynthOptions};
     pub use stc_partition::{is_symmetric_pair, Partition};
     pub use stc_pipeline::{
-        embedded_corpus, run_corpus, PipelineConfig, Stage, SuiteReport, SuiteRun,
+        embedded_corpus, BistPlan, CancelFlag, Decomposition, Encoded, Event, Observer,
+        PipelineConfig, StcConfig, SuiteReport, SuiteRun, Synthesis, SynthesisBuilder,
     };
-    pub use stc_synth::{solve, Cost, OstrSolver, Realization, SolveStage, SolverConfig};
+    #[allow(deprecated)]
+    pub use stc_pipeline::{run_corpus, Stage};
+    #[allow(deprecated)]
+    pub use stc_synth::SolveStage;
+    pub use stc_synth::{solve, Cost, OstrSolver, Realization, SolverConfig};
 }

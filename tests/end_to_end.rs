@@ -60,31 +60,31 @@ fn kiss2_to_self_testable_controller() {
 
 #[test]
 fn every_benchmark_flows_through_the_whole_stack() {
-    // The per-crate stage entry points compose the same flow `stc-pipeline`
+    // One `Synthesis` session drives the same staged flow `stc-pipeline`
     // runs at corpus scale.  Keep the integration test fast: only the small
     // benchmarks go through gate-level synthesis and fault simulation here;
     // the big ones are covered by the (release-mode) bench harness.
-    let solve = SolveStage::new(SolverConfig {
-        max_nodes: 50_000,
-        ..SolverConfig::default()
-    });
-    let encode = EncodeStage::new(EncodingStrategy::Binary);
-    let logic = LogicStage::new(SynthOptions::default());
+    let session = Synthesis::builder()
+        .max_nodes(50_000)
+        .encoding(EncodingStrategy::Binary)
+        .build();
     for benchmark in stc::fsm::benchmarks::suite() {
         let machine = &benchmark.machine;
         if machine.num_states() > 10 || machine.num_inputs() > 16 {
             continue;
         }
-        let solved = solve.apply(machine);
-        let realization = &solved.realization;
+        let decomposition = session.decompose_only(machine);
+        let realization = &decomposition.realization;
         assert!(
-            realization.verify(machine).is_none(),
+            decomposition.verified,
             "{}: realization does not realize the specification",
             benchmark.name()
         );
 
-        let encoded = encode.apply(machine, realization);
-        let pipeline = logic.apply(&encoded);
+        let encoded = session.encode(&decomposition).unwrap();
+        let netlist = session.synthesize_logic(&encoded);
+        let pipeline = &netlist.logic;
+        let encoded = &encoded.pipeline;
         assert_eq!(pipeline.flipflops(), encoded.register_bits());
 
         // Functional cross-check of the synthesised C1 block against δ1.

@@ -1,0 +1,113 @@
+//! Property tests for `stc_pipeline::Json`: `parse(emit(v)) == v` for
+//! arbitrary documents, through both the pretty and the compact writer —
+//! the invariant behind the golden-file diffs and the serve wire format.
+
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+use stc::pipeline::Json;
+
+/// Arbitrary strings, biased towards JSON-hostile content: quotes,
+/// backslashes, control characters, non-ASCII.
+fn string_strategy() -> BoxedStrategy<String> {
+    collection::vec(0u32..128, 0..12)
+        .prop_map(|codes| {
+            codes
+                .into_iter()
+                .map(|c| match c {
+                    0..=31 => char::from_u32(c).unwrap(), // control characters
+                    32 => '"',
+                    33 => '\\',
+                    34 => '/',
+                    35 => 'é',
+                    36 => '∩', // multi-byte UTF-8 (the π ∩ τ reports use it)
+                    37 => '𝔐', // 4-byte UTF-8
+                    other => char::from_u32(other).unwrap(),
+                })
+                .collect()
+        })
+        .boxed()
+}
+
+/// Numbers that must survive the writer's integer/shortest-float split:
+/// whole numbers (written without a fraction), halves, large magnitudes
+/// around the 2^53 exactness limit, negatives and tiny fractions.
+fn number_strategy() -> BoxedStrategy<f64> {
+    (0u32..6, any::<u32>(), 1u32..1000)
+        .prop_map(|(kind, raw, denom)| match kind {
+            0 => f64::from(raw),                    // whole, fits integer form
+            1 => -f64::from(raw),                   // negative whole
+            2 => f64::from(raw) + 0.5,              // exact binary fraction
+            3 => f64::from(raw) / f64::from(denom), // arbitrary fraction
+            4 => (u64::from(raw) << 21) as f64,     // large magnitude < 2^53
+            _ => -1.0 / f64::from(denom),           // small negative fraction
+        })
+        .boxed()
+}
+
+/// An arbitrary JSON document of bounded depth.
+fn json_strategy(depth: u32) -> BoxedStrategy<Json> {
+    let leaf =
+        (0u32..5, number_strategy(), string_strategy()).prop_map(|(kind, n, s)| match kind {
+            0 => Json::Null,
+            1 => Json::Bool(false),
+            2 => Json::Bool(true),
+            3 => Json::Number(n),
+            _ => Json::String(s),
+        });
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    (0u32..6, collection::vec(json_strategy(depth - 1), 0..4))
+        .prop_flat_map(|(kind, children)| {
+            let keys = collection::vec(string_strategy(), children.len());
+            (Just((kind, children)), keys)
+        })
+        .prop_map(|((kind, children), keys)| match kind {
+            0 | 1 => Json::Array(children),
+            _ => Json::Object(keys.into_iter().zip(children).collect()),
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn pretty_emission_round_trips(value in json_strategy(3)) {
+        let text = value.to_pretty();
+        let parsed = Json::parse(&text).expect("pretty output parses");
+        prop_assert_eq!(parsed, value);
+    }
+
+    #[test]
+    fn compact_emission_round_trips_and_stays_on_one_line(value in json_strategy(3)) {
+        let compact = value.to_compact();
+        // The serve protocol requires exactly one line per value: the writer
+        // must escape every raw newline.
+        prop_assert!(!compact.contains('\n'), "compact output spans lines: {compact:?}");
+        let parsed = Json::parse(&compact).expect("compact output parses");
+        prop_assert_eq!(parsed, value);
+    }
+
+    #[test]
+    fn strings_with_escapes_round_trip(s in string_strategy()) {
+        let value = Json::String(s);
+        prop_assert_eq!(Json::parse(&value.to_pretty()).unwrap(), value.clone());
+        prop_assert_eq!(Json::parse(&value.to_compact()).unwrap(), value);
+    }
+
+    #[test]
+    fn numeric_edge_cases_round_trip(n in number_strategy()) {
+        let value = Json::Number(n);
+        let parsed = Json::parse(&value.to_compact()).unwrap();
+        prop_assert_eq!(parsed, value);
+    }
+
+    #[test]
+    fn u64_values_up_to_2_pow_53_are_exact(raw in any::<u64>()) {
+        let exact = raw & ((1 << 53) - 1); // the documented exactness window
+        let value = Json::from_u64(exact);
+        let parsed = Json::parse(&value.to_compact()).unwrap();
+        prop_assert_eq!(parsed.as_u64(), Some(exact));
+    }
+}

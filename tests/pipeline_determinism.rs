@@ -3,7 +3,7 @@
 //! report must not depend on the worker count it happened to run under.
 
 use stc::pipeline::{
-    embedded_corpus, filter_by_names, run_corpus, GateLevelLimits, PipelineConfig,
+    embedded_corpus, filter_by_names, CorpusEntry, GateLevelLimits, PipelineConfig,
 };
 use stc::prelude::*;
 
@@ -26,6 +26,20 @@ fn test_config() -> PipelineConfig {
         },
         ..PipelineConfig::default()
     }
+}
+
+/// The session-API equivalent of the old `run_corpus(corpus, config, jobs,
+/// name)` call shape the tests below exercise.
+fn run_corpus(
+    corpus: &[CorpusEntry],
+    config: &PipelineConfig,
+    jobs: usize,
+    name: &str,
+) -> SuiteRun {
+    Synthesis::builder()
+        .config(StcConfig::from_pipeline(*config, jobs))
+        .build()
+        .run_suite(corpus, name)
 }
 
 #[test]

@@ -15,7 +15,7 @@
 //! and review the stats diff like any other code change.
 
 use stc::pipeline::{
-    embedded_corpus, run_corpus, search_stats_json, GateLevelLimits, PipelineConfig,
+    embedded_corpus, search_stats_json, GateLevelLimits, PipelineConfig, StcConfig, Synthesis,
 };
 
 #[test]
@@ -34,7 +34,10 @@ fn embedded_search_stats_match_the_committed_golden() {
         PipelineConfig::default().solver,
         "the gate must measure the default solver configuration"
     );
-    let run = run_corpus(&embedded_corpus(), &config, 2, "embedded");
+    let run = Synthesis::builder()
+        .config(StcConfig::from_pipeline(config, 2))
+        .build()
+        .run_suite(&embedded_corpus(), "embedded");
     let fresh = search_stats_json(&run.report).to_pretty();
     let golden_path = concat!(
         env!("CARGO_MANIFEST_DIR"),

@@ -1,0 +1,90 @@
+//! Drives one real `stc serve` subprocess through the JSON-lines protocol:
+//! requests on stdin, responses on stdout, EOF shuts the loop down.
+
+use stc::pipeline::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+
+#[test]
+fn serve_round_trips_the_tav_machine_through_a_real_subprocess() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_stc"))
+        .args(["serve", "--jobs", "1", "--patterns", "32"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("the stc binary spawns");
+
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut lines = stdout.lines();
+
+    let ping = r#"{"id": 41, "ping": true}"#;
+    let request = r#"{"id": 42, "machine": "tav", "overrides": {"solver.max_nodes": 50000}}"#;
+    writeln!(stdin, "{ping}").unwrap();
+    writeln!(stdin, "{request}").unwrap();
+
+    // The ping answers immediately, proving the loop is interactive (not
+    // read-all-then-answer).
+    let pong = Json::parse(&lines.next().unwrap().unwrap()).unwrap();
+    assert_eq!(pong.get("id").unwrap().as_u64(), Some(41));
+    assert_eq!(pong.get("pong"), Some(&Json::Bool(true)));
+
+    let response = Json::parse(&lines.next().unwrap().unwrap()).unwrap();
+    assert_eq!(response.get("id").unwrap().as_u64(), Some(42));
+    assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(response.get("machine").unwrap().as_str(), Some("tav"));
+
+    // The effective config echoes the per-request override and the CLI flag.
+    let config = response.get("config").unwrap();
+    assert_eq!(config.get("max_nodes").unwrap().as_u64(), Some(50_000));
+    assert_eq!(
+        config.get("patterns_per_session").unwrap().as_u64(),
+        Some(32)
+    );
+
+    // The report carries the full flow: tav decomposes into 2 + 2 states.
+    let report = response.get("report").unwrap();
+    assert_eq!(report.get("status").unwrap().as_str(), Some("full"));
+    let solve = report.get("solve").unwrap();
+    assert_eq!(solve.get("s1").unwrap().as_u64(), Some(2));
+    assert_eq!(solve.get("s2").unwrap().as_u64(), Some(2));
+    assert_eq!(solve.get("pipeline_ff").unwrap().as_u64(), Some(2));
+    assert!(report.get("bist").unwrap().get("session1").is_some());
+
+    // EOF ends the loop and the process exits cleanly.
+    drop(stdin);
+    let status = child.wait().expect("serve exits");
+    assert!(status.success());
+    assert!(
+        lines.next().is_none(),
+        "no extra output after the responses"
+    );
+}
+
+#[test]
+fn serve_survives_bad_requests_and_keeps_answering() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_stc"))
+        .args(["serve", "--jobs", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("the stc binary spawns");
+
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut lines = stdout.lines();
+
+    writeln!(stdin, "this is not json").unwrap();
+    let error = Json::parse(&lines.next().unwrap().unwrap()).unwrap();
+    assert_eq!(error.get("ok"), Some(&Json::Bool(false)));
+
+    let ping = r#"{"id": 2, "ping": true}"#;
+    writeln!(stdin, "{ping}").unwrap();
+    let pong = Json::parse(&lines.next().unwrap().unwrap()).unwrap();
+    assert_eq!(pong.get("pong"), Some(&Json::Bool(true)));
+
+    drop(stdin);
+    assert!(child.wait().unwrap().success());
+}

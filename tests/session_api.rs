@@ -1,0 +1,334 @@
+//! Integration tests of the `Synthesis` session API: typed partial flows,
+//! cooperative cancellation, event ordering, and byte-identity of the
+//! deprecated shims.
+
+use stc::pipeline::{embedded_corpus, filter_by_names, MachineStatus};
+use stc::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+fn by_name(name: &str) -> Mealy {
+    stc::fsm::benchmarks::by_name(name).unwrap().machine
+}
+
+#[test]
+fn decompose_only_is_a_first_class_partial_flow() {
+    let session = Synthesis::with_defaults();
+    let machine = by_name("shiftreg");
+    let decomposition = session.decompose_only(&machine);
+    assert!(decomposition.verified);
+    assert!(!decomposition.cancelled());
+    assert_eq!(decomposition.pipeline_flipflops(), 3);
+    // The artifact is self-contained: its solve report matches the one the
+    // full flow embeds.
+    let report = decomposition.solve_report();
+    assert_eq!(report.pipeline_ff, 3);
+    assert!(report.realization_verified);
+}
+
+#[test]
+fn a_flow_resumes_from_a_stored_encoding() {
+    let machine = by_name("tav");
+    // Produce and "store" the encoding with one session…
+    let encoded = {
+        let session = Synthesis::with_defaults();
+        let decomposition = session.decompose_only(&machine);
+        session.encode(&decomposition).unwrap()
+    };
+    // …then resume from it with a fresh, differently configured session.
+    let resumer = Synthesis::builder().patterns_per_session(32).build();
+    let netlist = resumer.synthesize_logic(&encoded);
+    let plan = resumer.plan_bist(&netlist);
+    assert_eq!(plan.result.session1.patterns, 32);
+    assert!(plan.result.overall_coverage() > 0.5);
+}
+
+/// An observer that requests a stop as soon as the solver reports its first
+/// progress tick (i.e. mid-search), recording what it saw.
+#[derive(Default)]
+struct CancelAfterFirstProgress {
+    progress_events: AtomicU64,
+}
+
+impl Observer for CancelAfterFirstProgress {
+    fn on_event(&self, event: &Event<'_>) {
+        if matches!(event, Event::SolverProgress { .. }) {
+            self.progress_events.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn should_cancel(&self) -> bool {
+        self.progress_events.load(Ordering::Relaxed) > 0
+    }
+}
+
+#[test]
+fn a_cancelled_search_returns_a_well_formed_typed_result() {
+    // `tbk` investigates ~28k nodes under the pipeline defaults, so the
+    // first progress tick (every 4096 nodes) lands mid-search.
+    let machine = by_name("tbk");
+    let observer = Arc::new(CancelAfterFirstProgress::default());
+    let session = Synthesis::builder()
+        .set("solver.stop_at_lower_bound", "true")
+        .unwrap()
+        .observer(observer.clone())
+        .build();
+    let decomposition = session.decompose_only(&machine);
+
+    // Cancellation is cooperative but must be observed mid-search here.
+    assert!(decomposition.cancelled(), "the observer's stop was ignored");
+    assert!(decomposition.outcome.stats.budget_exhausted);
+    let uncancelled = Synthesis::with_defaults().decompose_only(&machine);
+    assert!(
+        decomposition.outcome.stats.nodes_investigated
+            < uncancelled.outcome.stats.nodes_investigated,
+        "cancellation did not shorten the search"
+    );
+    // The typed artifact is still fully usable: best-so-far solution,
+    // verified realization (the trivial doubling pair at worst).
+    assert!(decomposition.verified);
+    assert!(decomposition.outcome.best.cost.s1() <= machine.num_states());
+    assert!(observer.progress_events.load(Ordering::Relaxed) >= 1);
+}
+
+/// An observer that requests a stop exactly once (armed by the first
+/// progress tick, disarmed by the first positive poll) — the "skip the
+/// current machine, keep the suite going" shape.
+#[derive(Default)]
+struct CancelOnce {
+    armed: AtomicU64,
+}
+
+impl Observer for CancelOnce {
+    fn on_event(&self, event: &Event<'_>) {
+        if matches!(event, Event::SolverProgress { .. }) {
+            self.armed.store(1, Ordering::Relaxed);
+        }
+    }
+
+    fn should_cancel(&self) -> bool {
+        self.armed.swap(0, Ordering::Relaxed) == 1
+    }
+}
+
+/// A cancellation whose observer has stopped requesting by the time the
+/// solve stage returns must still be reported `cancelled` — not mistaken
+/// for a timeout (no deadline is configured here at all).
+#[test]
+fn a_non_latching_cancel_is_reported_cancelled_not_timed_out() {
+    let corpus = filter_by_names(embedded_corpus(), &["tbk".to_string()]).unwrap();
+    let session = Synthesis::builder()
+        .jobs(1)
+        .observer(Arc::new(CancelOnce::default()))
+        .build();
+    let run = session.run_suite(&corpus, "cancel-once");
+    let tbk = &run.report.machines[0];
+    assert_eq!(tbk.status, MachineStatus::Cancelled);
+    assert!(tbk.solve.is_some());
+}
+
+/// Under parallel subtree exploration a one-shot cancel can be consumed by
+/// a speculative pass whose outcome the reduction discards; the stop must
+/// still be reflected in the typed result.
+#[test]
+fn a_cancel_granted_during_parallel_speculation_is_still_reported() {
+    #[derive(Default)]
+    struct CancelOnceCounting {
+        armed: AtomicU64,
+        granted: AtomicU64,
+    }
+    impl Observer for CancelOnceCounting {
+        fn on_event(&self, event: &Event<'_>) {
+            if matches!(event, Event::SolverProgress { .. }) {
+                self.armed.store(1, Ordering::Relaxed);
+            }
+        }
+        fn should_cancel(&self) -> bool {
+            let granted = self.armed.swap(0, Ordering::Relaxed) == 1;
+            if granted {
+                self.granted.fetch_add(1, Ordering::Relaxed);
+            }
+            granted
+        }
+    }
+    let machine = by_name("tbk");
+    let observer = Arc::new(CancelOnceCounting::default());
+    let session = Synthesis::builder()
+        .solver_jobs(4)
+        .observer(observer.clone())
+        .build();
+    let decomposition = session.decompose_only(&machine);
+    // Whether the one-shot stop lands on a speculative worker or in the
+    // reduction is scheduling-dependent; what must hold is that a granted
+    // stop is never swallowed.
+    if observer.granted.load(Ordering::Relaxed) > 0 {
+        assert!(
+            decomposition.cancelled(),
+            "a granted stop disappeared from the typed result"
+        );
+    }
+    assert!(decomposition.verified);
+}
+
+/// Progress events report the approximate *cumulative* node count: the
+/// values must track the search's true size, not double-count subtrees.
+#[test]
+fn solver_progress_counts_track_the_true_node_count() {
+    let machine = by_name("tbk");
+    #[derive(Default)]
+    struct MaxProgress(AtomicU64);
+    impl Observer for MaxProgress {
+        fn on_event(&self, event: &Event<'_>) {
+            if let Event::SolverProgress { nodes, .. } = event {
+                self.0.fetch_max(*nodes, Ordering::Relaxed);
+            }
+        }
+    }
+    let observer = Arc::new(MaxProgress::default());
+    let session = Synthesis::builder().observer(observer.clone()).build();
+    let decomposition = session.decompose_only(&machine);
+    let investigated = decomposition.outcome.stats.nodes_investigated;
+    let reported = observer.0.load(Ordering::Relaxed);
+    assert!(
+        reported >= stc::synth::PROGRESS_INTERVAL,
+        "the search is large enough to tick at least once (saw {reported})"
+    );
+    assert!(
+        reported <= investigated + stc::synth::PROGRESS_INTERVAL,
+        "progress {reported} overshoots the {investigated} nodes actually investigated"
+    );
+}
+
+#[test]
+fn a_cancelled_corpus_run_reports_every_machine() {
+    let corpus = filter_by_names(
+        embedded_corpus(),
+        &["tbk".to_string(), "tav".to_string(), "mc".to_string()],
+    )
+    .unwrap();
+    let observer = Arc::new(CancelAfterFirstProgress::default());
+    let session = Synthesis::builder().jobs(1).observer(observer).build();
+    let run = session.run_suite(&corpus, "cancel-test");
+    // The report still covers the full corpus, in corpus order.
+    assert_eq!(run.report.machines.len(), 3);
+    assert_eq!(run.report.machines[0].name, "mc");
+    // `tbk` is last in corpus order here? No: corpus order is embedded order
+    // (mc, tav, tbk).  tbk triggers the cancellation; by then mc and tav
+    // (1 and 4 nodes) are long done.
+    let tbk = &run.report.machines[2];
+    assert_eq!(tbk.name, "tbk");
+    assert_eq!(tbk.status, MachineStatus::Cancelled);
+    assert!(tbk.solve.is_some(), "partial results are kept");
+    assert_eq!(run.report.summary.cancelled, 1);
+    assert_eq!(run.report.summary.full, 2);
+    // The cancelled counter appears in the JSON only when nonzero.
+    assert!(run.report.to_json_string().contains("\"cancelled\": 1"));
+}
+
+/// Observer recording event lines for ordering assertions.
+#[derive(Default)]
+struct Recorder(Mutex<Vec<String>>);
+
+impl Observer for Recorder {
+    fn on_event(&self, event: &Event<'_>) {
+        let line = match event {
+            Event::StageStarted { machine, stage } => format!("{machine}:{stage}:start"),
+            Event::StageFinished { machine, stage } => format!("{machine}:{stage}:finish"),
+            Event::MachineFinished { machine, status } => format!("{machine}:done:{status}"),
+            _ => return,
+        };
+        self.0.lock().unwrap().push(line);
+    }
+}
+
+#[test]
+fn stage_events_bracket_each_stage_in_order() {
+    let observer = Arc::new(Recorder::default());
+    let session = Synthesis::builder()
+        .patterns_per_session(16)
+        .observer(observer.clone())
+        .jobs(1)
+        .build();
+    let corpus = filter_by_names(embedded_corpus(), &["tav".to_string()]).unwrap();
+    let run = session.run_suite(&corpus, "events");
+    assert_eq!(run.report.machines[0].status, MachineStatus::Full);
+    let events = observer.0.lock().unwrap().clone();
+    assert_eq!(
+        events,
+        [
+            "tav:solve:start",
+            "tav:solve:finish",
+            "tav:encode:start",
+            "tav:encode:finish",
+            "tav:logic:start",
+            "tav:logic:finish",
+            "tav:bist:start",
+            "tav:bist:finish",
+            "tav:done:full",
+        ]
+    );
+}
+
+/// Events are side-channel only: an observer that never cancels must leave
+/// the report byte-identical to an observer-free run.
+#[test]
+fn observers_never_change_the_report() {
+    let corpus = filter_by_names(
+        embedded_corpus(),
+        &[
+            "tav".to_string(),
+            "shiftreg".to_string(),
+            "bbara".to_string(),
+        ],
+    )
+    .unwrap();
+    let bare = Synthesis::builder().jobs(2).build().run_suite(&corpus, "s");
+    let observed = Synthesis::builder()
+        .jobs(2)
+        .observer(Arc::new(Recorder::default()))
+        .build()
+        .run_suite(&corpus, "s");
+    assert_eq!(
+        bare.report.to_json_string(),
+        observed.report.to_json_string()
+    );
+}
+
+/// The deprecated free functions are thin shims over the session: their
+/// reports must be byte-identical.
+#[test]
+#[allow(deprecated)]
+fn the_deprecated_shims_are_byte_identical_to_the_session() {
+    let corpus =
+        filter_by_names(embedded_corpus(), &["tav".to_string(), "dk27".to_string()]).unwrap();
+    let config = PipelineConfig::default();
+    let shim = run_corpus(&corpus, &config, 2, "shim");
+    let session = Synthesis::builder()
+        .config(StcConfig::from_pipeline(config, 2))
+        .build()
+        .run_suite(&corpus, "shim");
+    assert_eq!(shim.report, session.report);
+    assert_eq!(
+        shim.report.to_json_string(),
+        session.report.to_json_string()
+    );
+}
+
+#[test]
+fn builder_layers_defaults_profile_and_overrides() {
+    let session = Synthesis::builder()
+        .profile("[solver]\nmax_nodes = 11111\n[bist]\npatterns = 8\n")
+        .unwrap()
+        .set("solver.max_nodes", "22222")
+        .unwrap()
+        .build();
+    // The override layer wins over the profile layer…
+    assert_eq!(session.config().pipeline.solver.max_nodes, 22222);
+    // …which wins over the defaults.
+    assert_eq!(session.config().pipeline.patterns_per_session, 8);
+    // The effective config is what reports echo.
+    let corpus = filter_by_names(embedded_corpus(), &["tav".to_string()]).unwrap();
+    let run = session.run_suite(&corpus, "layered");
+    assert_eq!(run.report.config.max_nodes, 22222);
+    assert_eq!(run.report.config.patterns_per_session, 8);
+}
