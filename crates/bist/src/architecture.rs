@@ -1,7 +1,8 @@
 //! The four controller/BIST architectures of Figs. 1–4 and their quantitative
 //! comparison (flip-flops, area, delay, achievable fault coverage).
 
-use crate::fault::{fault_list, lfsr_patterns, simulate_faults, StuckAtFault};
+use crate::coverage::coverage_fraction;
+use crate::fault::{fault_list, lfsr_patterns, simulate_faults_packed, StuckAtFault};
 use serde::{Deserialize, Serialize};
 use stc_encoding::{EncodedMachine, EncodedPipeline, EncodingStrategy};
 use stc_fsm::Mealy;
@@ -123,7 +124,7 @@ pub fn evaluate_architectures(
     // inputs of C stay untested.
     let faults = fault_list(c_netlist);
     let feedback_nodes: Vec<usize> = state_input_nodes(c_netlist, encoded.input_bits as usize);
-    let report = simulate_faults(c_netlist, &patterns, &faults, None);
+    let report = simulate_faults_packed(c_netlist, &patterns, &faults, None, 1);
     let untestable: Vec<StuckAtFault> = faults
         .iter()
         .copied()
@@ -140,7 +141,7 @@ pub fn evaluate_architectures(
         gate_count: c_netlist.gate_count() + 3 * state_bits as usize,
         literal_count: c_netlist.literal_count() + 4 * state_bits as usize,
         logic_depth: c_netlist.depth() + 1,
-        fault_coverage: Some(detected_excluding_feedback as f64 / faults.len().max(1) as f64),
+        fault_coverage: Some(coverage_fraction(detected_excluding_feedback, faults.len())),
         untestable_faults: untestable.len(),
     };
 
@@ -171,7 +172,7 @@ pub fn evaluate_architectures(
     for netlist in blocks {
         let block_faults = fault_list(netlist);
         let block_patterns = test_patterns(netlist.num_inputs(), options.patterns_per_session);
-        let block_report = simulate_faults(netlist, &block_patterns, &block_faults, None);
+        let block_report = simulate_faults_packed(netlist, &block_patterns, &block_faults, None, 1);
         total_faults += block_report.total_faults;
         total_detected += block_report.detected;
     }
@@ -181,11 +182,7 @@ pub fn evaluate_architectures(
         gate_count: pipeline.gate_count(),
         literal_count: pipeline.literal_count(),
         logic_depth: blocks.iter().map(|n| n.depth()).max().unwrap_or(0),
-        fault_coverage: Some(if total_faults == 0 {
-            1.0
-        } else {
-            total_detected as f64 / total_faults as f64
-        }),
+        fault_coverage: Some(coverage_fraction(total_detected, total_faults)),
         untestable_faults: 0,
     };
 
@@ -275,6 +272,32 @@ mod tests {
                 "{name}: pipeline coverage {pipeline} < conventional BIST coverage {conv_bist}"
             );
         }
+    }
+
+    #[test]
+    fn empty_netlists_report_zero_coverage_not_nan_or_vacuous_one() {
+        // A one-state constant-output machine synthesises to a netlist with
+        // no fault sites at all.  The coverage fields must then report the
+        // defined 0.0 of `coverage_fraction` — not NaN (0/0) and not a
+        // vacuous 1.0 — on every architecture that reports coverage.
+        let machine = stc_fsm::MealyBuilder::new("constant", 1, 1, 1)
+            .transition(0, 0, 0, 0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let reports = evaluate_architectures(&machine, &ArchitectureOptions::default());
+        for report in &reports {
+            if let Some(coverage) = report.fault_coverage {
+                assert_eq!(
+                    coverage,
+                    0.0,
+                    "{}: expected the empty-fault-list convention",
+                    report.architecture.name()
+                );
+                assert!(!coverage.is_nan());
+            }
+        }
+        assert_eq!(reports[1].untestable_faults, 0);
     }
 
     #[test]

@@ -1,8 +1,22 @@
 //! The single-stuck-at fault model and fault simulation of combinational
 //! netlists.
+//!
+//! Two simulators share one fault model and one report type:
+//!
+//! * [`simulate_faults`] — the scalar *reference*: one netlist evaluation
+//!   per (fault, pattern) pair.  Kept simple on purpose; every optimised
+//!   path is property-tested against it.
+//! * [`simulate_faults_packed`] — the production PP-SFP (parallel-pattern
+//!   single-fault propagation) simulator: patterns are packed 64 per
+//!   machine word ([`PackedPatterns`]), the good circuit is evaluated once
+//!   per word, and each fault is re-evaluated word-wise with *fault
+//!   dropping* (a fault detected by an earlier word is never simulated
+//!   against later words).  Fault-chunk workers parallelise over the fault
+//!   list deterministically: the report is byte-identical for any worker
+//!   count, and identical to the scalar reference.
 
 use serde::{Deserialize, Serialize};
-use stc_logic::{Netlist, NodeId};
+use stc_logic::{Netlist, NodeId, PACKED_LANES};
 
 /// A single stuck-at fault: one netlist node permanently forced to a value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -63,24 +77,26 @@ pub struct FaultSimReport {
 }
 
 impl FaultSimReport {
-    /// Fault coverage as a fraction in `[0, 1]`.
+    /// Fault coverage as a fraction in `[0, 1]`; `0.0` for an empty fault
+    /// list (see [`crate::coverage_fraction`] for the convention).
     #[must_use]
     pub fn coverage(&self) -> f64 {
-        if self.total_faults == 0 {
-            1.0
-        } else {
-            self.detected as f64 / self.total_faults as f64
-        }
+        crate::coverage_fraction(self.detected, self.total_faults)
     }
 }
 
-/// Serial fault simulation: for every fault, every pattern is applied to the
-/// good and the faulty circuit and the primary outputs are compared.  A fault
-/// is *detected* if some pattern produces differing outputs.
+/// Scalar reference fault simulation: for every fault, every pattern is
+/// applied to the good and the faulty circuit and the primary outputs are
+/// compared.  A fault is *detected* if some pattern produces differing
+/// outputs.
 ///
 /// `observable_outputs` optionally restricts which primary outputs are
 /// observed (e.g. only those compacted by a signature register); `None`
 /// observes all outputs.
+///
+/// This is the specification the bit-parallel [`simulate_faults_packed`] is
+/// property-tested against; production callers should prefer the packed
+/// path, which produces an identical report ~an order of magnitude faster.
 #[must_use]
 pub fn simulate_faults(
     netlist: &Netlist,
@@ -120,6 +136,182 @@ pub fn simulate_faults(
     }
 }
 
+/// A pattern set packed for word-level simulation: 64 patterns per block,
+/// one `u64` word per input line within a block (bit `k` of a word is the
+/// input value of pattern `k`).
+///
+/// This is the transposed layout [`stc_logic::Netlist::eval_packed`]
+/// consumes: one netlist evaluation per block processes up to
+/// [`PACKED_LANES`] patterns at once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedPatterns {
+    num_inputs: usize,
+    num_patterns: usize,
+    /// `blocks[b]` holds `num_inputs` words; lanes beyond the pattern count
+    /// in the last block are zero and masked out via [`Self::lane_mask`].
+    blocks: Vec<Vec<u64>>,
+}
+
+impl PackedPatterns {
+    /// Packs a scalar pattern set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pattern's width differs from `num_inputs`.
+    #[must_use]
+    pub fn pack(num_inputs: usize, patterns: &[Vec<bool>]) -> Self {
+        let mut blocks = Vec::with_capacity(patterns.len().div_ceil(PACKED_LANES));
+        for chunk in patterns.chunks(PACKED_LANES) {
+            let mut words = vec![0u64; num_inputs];
+            for (lane, pattern) in chunk.iter().enumerate() {
+                assert_eq!(pattern.len(), num_inputs, "pattern width mismatch");
+                for (i, &bit) in pattern.iter().enumerate() {
+                    if bit {
+                        words[i] |= 1 << lane;
+                    }
+                }
+            }
+            blocks.push(words);
+        }
+        Self {
+            num_inputs,
+            num_patterns: patterns.len(),
+            blocks,
+        }
+    }
+
+    /// Number of packed patterns.
+    #[must_use]
+    pub fn num_patterns(&self) -> usize {
+        self.num_patterns
+    }
+
+    /// Number of 64-lane blocks.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The input words of block `b` (one word per input line).
+    #[must_use]
+    pub fn block(&self, b: usize) -> &[u64] {
+        &self.blocks[b]
+    }
+
+    /// The mask of valid lanes in block `b` (all ones except in the final,
+    /// possibly partial block).
+    #[must_use]
+    pub fn lane_mask(&self, b: usize) -> u64 {
+        let filled = self.num_patterns - b * PACKED_LANES;
+        if filled >= PACKED_LANES {
+            u64::MAX
+        } else {
+            (1u64 << filled) - 1
+        }
+    }
+}
+
+/// Bit-parallel (PP-SFP) single-stuck-at fault simulation with fault
+/// dropping: the exact counterpart of the scalar [`simulate_faults`]
+/// reference, ~64 patterns per netlist evaluation.
+///
+/// The good circuit is evaluated once per pattern block; each fault is then
+/// re-evaluated block-wise and *dropped* at the first block in which an
+/// observed output word differs (within the block's valid-lane mask).
+/// `jobs > 1` splits the fault list into contiguous chunks simulated by
+/// scoped worker threads; faults are independent of each other, chunk
+/// results are joined in chunk order, and the report — including the order
+/// of the `undetected` list — is byte-identical for any worker count.
+///
+/// # Panics
+///
+/// Panics if a pattern's width differs from the netlist's input count, a
+/// fault node id is out of range, or an observable output index is out of
+/// range.
+#[must_use]
+pub fn simulate_faults_packed(
+    netlist: &Netlist,
+    patterns: &[Vec<bool>],
+    faults: &[StuckAtFault],
+    observable_outputs: Option<&[usize]>,
+    jobs: usize,
+) -> FaultSimReport {
+    let packed = PackedPatterns::pack(netlist.num_inputs(), patterns);
+    // The observed output *nodes*, resolved once.
+    let observed_nodes: Vec<NodeId> = match observable_outputs {
+        None => netlist.outputs().to_vec(),
+        Some(idx) => idx.iter().map(|&i| netlist.outputs()[i]).collect(),
+    };
+
+    // Good-circuit responses: per block, one word per observed output.
+    let mut scratch: Vec<u64> = Vec::new();
+    let mut good: Vec<Vec<u64>> = Vec::with_capacity(packed.num_blocks());
+    for b in 0..packed.num_blocks() {
+        netlist.eval_packed_into(packed.block(b), None, &mut scratch);
+        good.push(observed_nodes.iter().map(|&n| scratch[n]).collect());
+    }
+
+    // One fault chunk per worker; a fault's verdict depends only on the
+    // fault itself, so chunking is invisible in the result.
+    let jobs = jobs.max(1).min(faults.len().max(1));
+    let chunk_len = faults.len().div_ceil(jobs).max(1);
+    let chunks: Vec<&[StuckAtFault]> = faults.chunks(chunk_len).collect();
+    let simulate_chunk = |chunk: &[StuckAtFault]| -> (usize, Vec<StuckAtFault>) {
+        let mut scratch: Vec<u64> = Vec::new();
+        let mut detected = 0usize;
+        let mut undetected = Vec::new();
+        'faults: for fault in chunk {
+            for (b, good_words) in good.iter().enumerate() {
+                netlist.eval_packed_into(
+                    packed.block(b),
+                    Some((fault.node, fault.stuck_at)),
+                    &mut scratch,
+                );
+                let mask = packed.lane_mask(b);
+                let differs = observed_nodes
+                    .iter()
+                    .zip(good_words)
+                    .any(|(&n, &g)| (scratch[n] ^ g) & mask != 0);
+                if differs {
+                    // Fault dropping: detected faults leave the simulation.
+                    detected += 1;
+                    continue 'faults;
+                }
+            }
+            undetected.push(*fault);
+        }
+        (detected, undetected)
+    };
+
+    let results: Vec<(usize, Vec<StuckAtFault>)> = if chunks.len() <= 1 {
+        chunks.iter().map(|c| simulate_chunk(c)).collect()
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| scope.spawn(|| simulate_chunk(chunk)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fault-chunk worker panicked"))
+                .collect()
+        })
+    };
+
+    let mut detected = 0usize;
+    let mut undetected = Vec::new();
+    for (d, mut u) in results {
+        detected += d;
+        undetected.append(&mut u);
+    }
+    FaultSimReport {
+        total_faults: faults.len(),
+        detected,
+        undetected,
+        patterns: patterns.len(),
+    }
+}
+
 /// Generates the exhaustive pattern set for a netlist with few inputs.
 ///
 /// # Panics
@@ -141,6 +333,10 @@ pub fn exhaustive_patterns(num_inputs: usize) -> Vec<Vec<bool>> {
 #[must_use]
 pub fn lfsr_patterns(width: usize, count: usize, seed: u64) -> Vec<Vec<bool>> {
     let chunk = width.clamp(1, 24) as u32;
+    // Mask the seed to the register width *before* the zero check: a seed
+    // whose low `chunk` bits are all zero would otherwise slip past
+    // `max(1)` and trip the LFSR's all-zero lock-up assertion.
+    let seed = seed & ((1u64 << chunk) - 1);
     let mut lfsr = crate::Lfsr::with_primitive_polynomial(chunk, seed.max(1));
     (0..count)
         .map(|_| {
@@ -226,5 +422,147 @@ mod tests {
     fn fault_list_has_two_faults_per_site() {
         let n = xor_netlist();
         assert_eq!(fault_list(&n).len(), 2 * n.fault_sites().len());
+    }
+
+    #[test]
+    fn packed_patterns_transpose_and_mask_correctly() {
+        // 70 patterns of width 3: two blocks, the second with 6 valid lanes.
+        let patterns: Vec<Vec<bool>> = (0..70u32)
+            .map(|v| (0..3).rev().map(|b| (v >> b) & 1 == 1).collect())
+            .collect();
+        let packed = PackedPatterns::pack(3, &patterns);
+        assert_eq!(packed.num_patterns(), 70);
+        assert_eq!(packed.num_blocks(), 2);
+        assert_eq!(packed.lane_mask(0), u64::MAX);
+        assert_eq!(packed.lane_mask(1), (1 << 6) - 1);
+        for (p, pattern) in patterns.iter().enumerate() {
+            let (b, lane) = (p / 64, p % 64);
+            for (i, &bit) in pattern.iter().enumerate() {
+                assert_eq!((packed.block(b)[i] >> lane) & 1 == 1, bit, "p={p} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_simulation_equals_the_scalar_reference() {
+        let n = xor_netlist();
+        let faults = fault_list(&n);
+        // Exhaustive (4 patterns: a partial block) and a >64-pattern LFSR
+        // set (a full block plus a partial one).
+        for patterns in [exhaustive_patterns(2), lfsr_patterns(2, 100, 7)] {
+            let scalar = simulate_faults(&n, &patterns, &faults, None);
+            let packed = simulate_faults_packed(&n, &patterns, &faults, None, 1);
+            assert_eq!(scalar, packed);
+        }
+    }
+
+    #[test]
+    fn packed_simulation_respects_restricted_observability() {
+        let f = Cover::from_cubes(2, vec![Cube::parse("1-").unwrap()]);
+        let g = Cover::from_cubes(2, vec![Cube::parse("-1").unwrap()]);
+        let n = Netlist::from_covers(2, &[f, g]);
+        let faults = fault_list(&n);
+        let patterns = exhaustive_patterns(2);
+        for observable in [None, Some(&[0usize][..]), Some(&[1usize][..])] {
+            assert_eq!(
+                simulate_faults(&n, &patterns, &faults, observable),
+                simulate_faults_packed(&n, &patterns, &faults, observable, 1),
+                "{observable:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_parallel_simulation_is_byte_identical_to_serial() {
+        // A netlist with enough faults to split unevenly across workers.
+        let covers: Vec<Cover> = (0..3)
+            .map(|o| {
+                Cover::from_cubes(
+                    4,
+                    vec![
+                        Cube::parse(["11--", "1-0-", "-011"][o]).unwrap(),
+                        Cube::parse(["0-01", "01-1", "1-10"][o]).unwrap(),
+                    ],
+                )
+            })
+            .collect();
+        let n = Netlist::from_covers(4, &covers);
+        let faults = fault_list(&n);
+        // Few patterns on purpose: some faults stay undetected, so the
+        // undetected *order* is exercised, not just the counts.
+        let patterns = lfsr_patterns(4, 3, 1);
+        let serial = simulate_faults_packed(&n, &patterns, &faults, None, 1);
+        assert!(
+            !serial.undetected.is_empty(),
+            "test needs undetected faults"
+        );
+        for jobs in [2, 3, 5, 8, 64] {
+            let parallel = simulate_faults_packed(&n, &patterns, &faults, None, jobs);
+            assert_eq!(serial, parallel, "jobs = {jobs}");
+        }
+        assert_eq!(serial, simulate_faults(&n, &patterns, &faults, None));
+    }
+
+    #[test]
+    fn empty_patterns_and_empty_fault_lists_are_handled() {
+        let n = xor_netlist();
+        let faults = fault_list(&n);
+        let no_patterns = simulate_faults_packed(&n, &[], &faults, None, 4);
+        assert_eq!(no_patterns.detected, 0);
+        assert_eq!(no_patterns.undetected.len(), faults.len());
+        let no_faults = simulate_faults_packed(&n, &exhaustive_patterns(2), &[], None, 4);
+        assert_eq!(no_faults.total_faults, 0);
+        // The workspace-wide convention: an empty fault list is 0.0
+        // coverage, not a vacuous 1.0 (or a 0/0 NaN).
+        assert_eq!(no_faults.coverage(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use stc_logic::{Cover, Cube, Literal};
+
+    fn arb_cover(num_vars: usize, max_cubes: usize) -> impl Strategy<Value = Cover> {
+        proptest::collection::vec(proptest::collection::vec(0u8..3, num_vars), 0..=max_cubes)
+            .prop_map(move |cubes| {
+                Cover::from_cubes(
+                    num_vars,
+                    cubes
+                        .into_iter()
+                        .map(|lits| {
+                            Cube::from_literals(
+                                lits.into_iter()
+                                    .map(|l| match l {
+                                        0 => Literal::Zero,
+                                        1 => Literal::One,
+                                        _ => Literal::DontCare,
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                )
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn packed_simulator_equals_scalar_reference_on_random_netlists(
+            covers in proptest::collection::vec(arb_cover(4, 4), 1..=3),
+            pattern_count in 0usize..80,
+            seed in 1u64..1000,
+            jobs in 1usize..5,
+        ) {
+            let netlist = Netlist::from_covers(4, &covers);
+            let faults = fault_list(&netlist);
+            let patterns = lfsr_patterns(4, pattern_count, seed);
+            let scalar = simulate_faults(&netlist, &patterns, &faults, None);
+            let packed = simulate_faults_packed(&netlist, &patterns, &faults, None, jobs);
+            prop_assert_eq!(scalar, packed);
+        }
     }
 }

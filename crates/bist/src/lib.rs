@@ -10,7 +10,10 @@
 //!   structures of Figs. 1–4 (flip-flops, gates, literals, logic depth,
 //!   achievable fault coverage, untestable feedback-line faults);
 //! * [`pipeline_self_test`] — the two-session self-test of the pipeline
-//!   structure with signature-based fault detection.
+//!   structure with signature-based fault detection;
+//! * [`simulate_faults_packed`] / [`measure_plan_coverage`] — the
+//!   bit-parallel (PP-SFP) fault simulator and the exact single-stuck-at
+//!   coverage of the two-session plan it enables.
 //!
 //! # Example
 //!
@@ -31,6 +34,7 @@
 
 mod architecture;
 mod bilbo;
+mod coverage;
 mod fault;
 mod lfsr;
 mod misr;
@@ -44,9 +48,11 @@ pub use architecture::{
     evaluate_architectures, Architecture, ArchitectureOptions, ArchitectureReport,
 };
 pub use bilbo::{Bilbo, BilboMode};
+pub use coverage::{coverage_fraction, measure_plan_coverage, BlockCoverage, PlanCoverage};
 pub use fault::{
-    exhaustive_patterns, fault_list, lfsr_patterns, simulate_faults, FaultSimReport, StuckAtFault,
+    exhaustive_patterns, fault_list, lfsr_patterns, simulate_faults, simulate_faults_packed,
+    FaultSimReport, PackedPatterns, StuckAtFault,
 };
 pub use lfsr::{Lfsr, PRIMITIVE_TAPS};
 pub use misr::Misr;
-pub use session::{pipeline_self_test, SelfTestResult, SessionResult};
+pub use session::{pipeline_self_test, session_patterns, SelfTestResult, SessionResult};

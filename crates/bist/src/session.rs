@@ -30,14 +30,11 @@ pub struct SessionResult {
 }
 
 impl SessionResult {
-    /// Signature-based fault coverage of the session.
+    /// Signature-based fault coverage of the session; `0.0` for an empty
+    /// fault list (see [`crate::coverage_fraction`] for the convention).
     #[must_use]
     pub fn coverage(&self) -> f64 {
-        if self.total_faults == 0 {
-            1.0
-        } else {
-            self.detected_faults as f64 / self.total_faults as f64
-        }
+        crate::coverage_fraction(self.detected_faults, self.total_faults)
     }
 }
 
@@ -51,14 +48,14 @@ pub struct SelfTestResult {
 }
 
 impl SelfTestResult {
-    /// Overall signature-based fault coverage over both blocks.
+    /// Overall signature-based fault coverage over both blocks; `0.0` when
+    /// both fault lists are empty (see [`crate::coverage_fraction`]).
     #[must_use]
     pub fn overall_coverage(&self) -> f64 {
-        let total = self.session1.total_faults + self.session2.total_faults;
-        if total == 0 {
-            return 1.0;
-        }
-        (self.session1.detected_faults + self.session2.detected_faults) as f64 / total as f64
+        crate::coverage_fraction(
+            self.session1.detected_faults + self.session2.detected_faults,
+            self.session1.total_faults + self.session2.total_faults,
+        )
     }
 }
 
@@ -85,8 +82,8 @@ pub fn pipeline_self_test(pipeline: &PipelineLogic, patterns_per_session: usize)
     SelfTestResult { session1, session2 }
 }
 
-/// Runs one session: the analysing register spans `ana_bits`, and the block
-/// under test is driven across its whole input cone.
+/// The pattern sequence a self-test session applies to a block under test,
+/// in application order.
 ///
 /// The generating register and the primary-input source are modelled as one
 /// combined *modified* (de Bruijn) LFSR spanning the block's input cone
@@ -96,22 +93,22 @@ pub fn pipeline_self_test(pipeline: &PipelineLogic, patterns_per_session: usize)
 /// combinations untested; the modified LFSR visits all `2^k` input vectors
 /// per period, realizing the paper's claim that each block is tested
 /// exhaustively within its session.
-fn run_session(name: &str, block: &Netlist, ana_bits: u32, patterns: usize) -> SessionResult {
+///
+/// This is the single source of truth for the plan's stimuli: the
+/// signature-based session simulation below and the exact coverage
+/// measurement ([`crate::measure_plan_coverage`]) both consume it, so the
+/// measured coverage is the coverage of the *actual* BIST plan, not of some
+/// unrelated pattern set.
+#[must_use]
+pub fn session_patterns(block: &Netlist, patterns: usize) -> Vec<Vec<bool>> {
     let source_width = (block.num_inputs() as u32).clamp(1, 24);
-    // The analysing register comprises the receiving state register plus the
-    // output-observation stages; model it as at least 16 bits so the aliasing
-    // probability (~2^-width) is negligible, as it is in real BIST hardware.
-    let ana_width = ana_bits.max(16).clamp(1, 24);
-
-    let signature_of = |fault: Option<(usize, bool)>| -> u64 {
-        let mut source = Lfsr::de_bruijn(source_width, 0b1);
-        // Blocks with an input cone wider than the tabulated polynomials get
-        // the excess bits from a free-running auxiliary LFSR (pseudo-random
-        // rather than exhaustive — such cones are too wide to exhaust anyway).
-        let mut aux = Lfsr::with_primitive_polynomial(16, 0xace1);
-        let mut analyser = Bilbo::new(ana_width, 0);
-        analyser.set_mode(BilboMode::SignatureAnalysis);
-        for _ in 0..patterns {
+    let mut source = Lfsr::de_bruijn(source_width, 0b1);
+    // Blocks with an input cone wider than the tabulated polynomials get
+    // the excess bits from a free-running auxiliary LFSR (pseudo-random
+    // rather than exhaustive — such cones are too wide to exhaust anyway).
+    let mut aux = Lfsr::with_primitive_polynomial(16, 0xace1);
+    (0..patterns)
+        .map(|_| {
             source.step();
             let mut inputs = source.state_bits();
             inputs.truncate(block.num_inputs());
@@ -120,7 +117,26 @@ fn run_session(name: &str, block: &Netlist, ana_bits: u32, patterns: usize) -> S
                 let needed = block.num_inputs() - inputs.len();
                 inputs.extend(aux.state_bits().into_iter().take(needed));
             }
-            let response = block.evaluate_with_fault(&inputs, fault);
+            inputs
+        })
+        .collect()
+}
+
+/// Runs one session: the analysing register spans `ana_bits`, and the block
+/// under test is driven across its whole input cone by the
+/// [`session_patterns`] stimuli.
+fn run_session(name: &str, block: &Netlist, ana_bits: u32, patterns: usize) -> SessionResult {
+    // The analysing register comprises the receiving state register plus the
+    // output-observation stages; model it as at least 16 bits so the aliasing
+    // probability (~2^-width) is negligible, as it is in real BIST hardware.
+    let ana_width = ana_bits.max(16).clamp(1, 24);
+    let stimuli = session_patterns(block, patterns);
+
+    let signature_of = |fault: Option<(usize, bool)>| -> u64 {
+        let mut analyser = Bilbo::new(ana_width, 0);
+        analyser.set_mode(BilboMode::SignatureAnalysis);
+        for inputs in &stimuli {
+            let response = block.evaluate_with_fault(inputs, fault);
             let mut padded = response;
             padded.resize(ana_width as usize, false);
             analyser.clock(&padded);

@@ -10,8 +10,9 @@
 //!
 //! * [`Cube`], [`Cover`] — product terms and sums of products with an
 //!   Espresso-style EXPAND/IRREDUNDANT/REDUCE minimiser;
-//! * [`Netlist`] — two-level AND-OR netlists with evaluation, fault
-//!   injection, gate/literal counts and depth;
+//! * [`Netlist`] — two-level AND-OR netlists with evaluation (scalar and
+//!   64-patterns-per-word packed, both with fault injection), levelization,
+//!   gate/literal counts and depth;
 //! * [`synthesize_controller`], [`synthesize_pipeline`] — end-to-end logic
 //!   synthesis of the monolithic (Fig. 1) and pipeline (Fig. 4) controller
 //!   structures.
@@ -43,7 +44,7 @@ mod synth;
 pub use cover::Cover;
 pub use cube::{Cube, Literal};
 pub use error::LogicError;
-pub use netlist::{Gate, Netlist, NodeId};
+pub use netlist::{Gate, Netlist, NodeId, PACKED_LANES};
 #[allow(deprecated)]
 pub use stage::LogicStage;
 pub use synth::{
@@ -122,6 +123,31 @@ mod proptests {
         fn cover_equivalence_is_reflexive_and_symmetric(a in arb_cover(3, 4), b in arb_cover(3, 4)) {
             prop_assert!(a.equivalent(&a));
             prop_assert_eq!(a.equivalent(&b), b.equivalent(&a));
+        }
+
+        #[test]
+        fn packed_evaluation_is_64_scalar_evaluations(
+            covers in proptest::collection::vec(arb_cover(5, 5), 1..=3),
+            words in proptest::collection::vec(any::<u64>(), 5..=5),
+            fault_site in 0usize..64,
+            stuck in any::<bool>(),
+        ) {
+            let netlist = Netlist::from_covers(5, &covers);
+            let fault = (fault_site < netlist.gates().len()).then_some((fault_site, stuck));
+            let packed = netlist.eval_packed_with_fault(&words, fault);
+            prop_assert_eq!(packed.len(), netlist.num_outputs());
+            for lane in 0..PACKED_LANES {
+                let scalar_inputs: Vec<bool> =
+                    words.iter().map(|w| (w >> lane) & 1 == 1).collect();
+                let scalar = netlist.evaluate_with_fault(&scalar_inputs, fault);
+                for (o, word) in packed.iter().enumerate() {
+                    prop_assert_eq!(
+                        (word >> lane) & 1 == 1,
+                        scalar[o],
+                        "output {} lane {} fault {:?}", o, lane, fault
+                    );
+                }
+            }
         }
     }
 }

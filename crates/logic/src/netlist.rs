@@ -8,6 +8,11 @@ use serde::{Deserialize, Serialize};
 /// Identifier of a node (gate) inside a [`Netlist`].
 pub type NodeId = usize;
 
+/// Number of independent patterns carried by one machine word in the packed
+/// evaluation path ([`Netlist::eval_packed`]): bit `k` of every word belongs
+/// to pattern `k` of the block.
+pub const PACKED_LANES: usize = 64;
+
 /// A combinational gate.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Gate {
@@ -176,15 +181,22 @@ impl Netlist {
     /// delay measure.  Inputs have depth 0.
     #[must_use]
     pub fn depth(&self) -> usize {
+        let level = self.node_levels();
+        self.outputs.iter().map(|&o| level[o]).max().unwrap_or(0)
+    }
+
+    /// The logic level of every node: inputs and constants at 0, every gate
+    /// one above its deepest fan-in.  Shared by [`Self::depth`] and
+    /// [`Self::levelize`].
+    fn node_levels(&self) -> Vec<usize> {
         let mut level = vec![0usize; self.gates.len()];
         for (id, gate) in self.gates.iter().enumerate() {
-            let max_in = gate.fanins().iter().map(|&f| level[f]).max().unwrap_or(0);
             level[id] = match gate {
                 Gate::Input(_) | Gate::Const(_) => 0,
-                _ => max_in + 1,
+                _ => 1 + gate.fanins().iter().map(|&f| level[f]).max().unwrap_or(0),
             };
         }
-        self.outputs.iter().map(|&o| level[o]).max().unwrap_or(0)
+        level
     }
 
     /// Evaluates the netlist on an input vector (fault-free).
@@ -252,6 +264,108 @@ impl Netlist {
                 _ => true,
             })
             .collect()
+    }
+
+    /// Groups the nodes by logic level: inputs and constants at level 0,
+    /// every gate one level above its deepest fan-in.  Every node appears in
+    /// exactly one group, and every gate's fan-ins lie in strictly earlier
+    /// groups — the levelized schedule that word-level evaluation sweeps.
+    ///
+    /// The storage order of [`Self::gates`] is already topological (fan-ins
+    /// have smaller ids), so a single in-order pass visits the levels in
+    /// non-decreasing order; `levelize` makes that schedule explicit for
+    /// callers that want per-level parallelism or the depth profile.
+    #[must_use]
+    pub fn levelize(&self) -> Vec<Vec<NodeId>> {
+        let level = self.node_levels();
+        let depth = level.iter().copied().max().unwrap_or(0);
+        let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); depth + 1];
+        for (id, &l) in level.iter().enumerate() {
+            groups[l].push(id);
+        }
+        groups
+    }
+
+    /// Evaluates [`PACKED_LANES`] patterns at once, fault-free.
+    ///
+    /// `inputs[i]` carries primary input `i` for all 64 patterns: bit `k` of
+    /// the word is input `i` of pattern `k`.  The returned vector holds one
+    /// word per primary output with the same lane layout.  Bit-for-bit
+    /// equivalent to 64 scalar [`Self::evaluate`] calls (property-tested).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary inputs.
+    #[must_use]
+    pub fn eval_packed(&self, inputs: &[u64]) -> Vec<u64> {
+        self.eval_packed_with_fault(inputs, None)
+    }
+
+    /// [`Self::eval_packed`] with an optional stuck-at fault: node `fault.0`
+    /// is forced to the value `fault.1` in every lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary inputs or
+    /// the fault node id is out of range.
+    #[must_use]
+    pub fn eval_packed_with_fault(
+        &self,
+        inputs: &[u64],
+        fault: Option<(NodeId, bool)>,
+    ) -> Vec<u64> {
+        let mut values = Vec::new();
+        self.eval_packed_into(inputs, fault, &mut values);
+        self.outputs.iter().map(|&o| values[o]).collect()
+    }
+
+    /// The allocation-free core of the packed path: evaluates all 64 lanes
+    /// and leaves the value word of *every* node in `values` (indexed by
+    /// node id), reusing the buffer's capacity across calls.  Fault
+    /// simulators call this in a tight per-fault loop and read the output
+    /// words through [`Self::outputs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary inputs or
+    /// the fault node id is out of range.
+    pub fn eval_packed_into(
+        &self,
+        inputs: &[u64],
+        fault: Option<(NodeId, bool)>,
+        values: &mut Vec<u64>,
+    ) {
+        assert_eq!(inputs.len(), self.num_inputs, "input width mismatch");
+        if let Some((node, _)) = fault {
+            assert!(node < self.gates.len(), "fault node out of range");
+        }
+        values.clear();
+        values.resize(self.gates.len(), 0);
+        for (id, gate) in self.gates.iter().enumerate() {
+            let word = match gate {
+                Gate::Input(i) => inputs[*i],
+                Gate::Const(c) => {
+                    if *c {
+                        u64::MAX
+                    } else {
+                        0
+                    }
+                }
+                Gate::Not(a) => !values[*a],
+                Gate::And(xs) => xs.iter().fold(u64::MAX, |acc, &x| acc & values[x]),
+                Gate::Or(xs) => xs.iter().fold(0, |acc, &x| acc | values[x]),
+            };
+            values[id] = match fault {
+                Some((node, stuck)) if node == id => {
+                    if stuck {
+                        u64::MAX
+                    } else {
+                        0
+                    }
+                }
+                _ => word,
+            };
+        }
     }
 }
 
@@ -342,5 +456,84 @@ mod tests {
     fn wrong_input_width_panics() {
         let n = xor_netlist();
         let _ = n.evaluate(&[true]);
+    }
+
+    #[test]
+    fn levelize_groups_every_node_exactly_once_in_fanin_order() {
+        let n = xor_netlist();
+        let groups = n.levelize();
+        // Inputs at level 0; NOT → AND → OR gives four levels in total.
+        assert_eq!(groups.len(), 4);
+        assert_eq!(groups[0], vec![0, 1]);
+        let mut seen = vec![false; n.gates().len()];
+        for (l, group) in groups.iter().enumerate() {
+            for &id in group {
+                assert!(!seen[id], "node {id} appears twice");
+                seen[id] = true;
+                for f in n.gates()[id].fanins() {
+                    let fanin_level = groups.iter().position(|g| g.contains(&f)).unwrap();
+                    assert!(
+                        fanin_level < l,
+                        "fan-in {f} of {id} not in an earlier level"
+                    );
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "levelize dropped a node");
+    }
+
+    #[test]
+    fn packed_evaluation_matches_scalar_on_all_xor_lanes() {
+        let n = xor_netlist();
+        // Lane k carries the pattern (k & 1, k & 2): build the input words.
+        let mut a = 0u64;
+        let mut b = 0u64;
+        for lane in 0..PACKED_LANES {
+            if lane & 1 != 0 {
+                a |= 1 << lane;
+            }
+            if lane & 2 != 0 {
+                b |= 1 << lane;
+            }
+        }
+        let out = n.eval_packed(&[a, b]);
+        assert_eq!(out.len(), 1);
+        for lane in 0..PACKED_LANES {
+            let scalar = n.evaluate(&[lane & 1 != 0, lane & 2 != 0])[0];
+            assert_eq!((out[0] >> lane) & 1 == 1, scalar, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn packed_fault_injection_matches_scalar_fault_injection() {
+        let n = xor_netlist();
+        let inputs = [0xF0F0_F0F0_F0F0_F0F0u64, 0xFF00_FF00_FF00_FF00u64];
+        for site in n.fault_sites() {
+            for stuck in [false, true] {
+                let packed = n.eval_packed_with_fault(&inputs, Some((site, stuck)));
+                for lane in [0usize, 4, 17, 63] {
+                    let scalar_inputs: Vec<bool> =
+                        inputs.iter().map(|w| (w >> lane) & 1 == 1).collect();
+                    let scalar = n.evaluate_with_fault(&scalar_inputs, Some((site, stuck)));
+                    assert_eq!((packed[0] >> lane) & 1 == 1, scalar[0], "lane {lane}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_constants_fill_every_lane() {
+        let zero = Cover::new(1);
+        let one = Cover::from_cubes(1, vec![Cube::parse("-").unwrap()]);
+        let n = Netlist::from_covers(1, &[zero, one]);
+        let out = n.eval_packed(&[0xDEAD_BEEF_DEAD_BEEFu64]);
+        assert_eq!(out, vec![0, u64::MAX]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn packed_wrong_input_width_panics() {
+        let n = xor_netlist();
+        let _ = n.eval_packed(&[0]);
     }
 }

@@ -21,6 +21,9 @@
 //! `solver.time_limit_secs`), which depend on machine speed and whose
 //! effect — when one fires — already shows in the report (`status`,
 //! `budget_exhausted`).  Both omissions keep reports machine-independent.
+//! The coverage knobs (`coverage.enabled`, `coverage.max_patterns`) are
+//! echoed only when coverage is *enabled*: an additive feature must leave
+//! coverage-free golden reports byte-identical.
 
 use crate::runner::PipelineConfig;
 use stc_encoding::EncodingStrategy;
@@ -64,6 +67,14 @@ pub const CONFIG_KEYS: &[(&str, &str)] = &[
     ("encoding", "binary | gray | one-hot | adjacency-greedy"),
     ("synth.minimize", "true/false"),
     ("bist.patterns", "BIST patterns per self-test session"),
+    (
+        "coverage.enabled",
+        "true/false — measure exact BIST-plan fault coverage",
+    ),
+    (
+        "coverage.max_patterns",
+        "cap on patterns per session for the coverage measurement (0 = plan budget)",
+    ),
     ("gate_level.max_states", "max |S| for the gate-level stages"),
     (
         "gate_level.max_inputs",
@@ -181,6 +192,8 @@ impl StcConfig {
             "bist.patterns" | "patterns_per_session" => {
                 p.patterns_per_session = parse(key, value)?;
             }
+            "coverage.enabled" => p.coverage.enabled = parse_bool(key, value)?,
+            "coverage.max_patterns" => p.coverage.max_patterns = parse(key, value)?,
             "gate_level.max_states" => p.gate_level.max_states = parse(key, value)?,
             "gate_level.max_inputs" => p.gate_level.max_inputs = parse(key, value)?,
             "machine_timeout_secs" => p.machine_timeout = optional_secs(parse(key, value)?),
@@ -287,7 +300,11 @@ mod tests {
         for (key, _) in CONFIG_KEYS {
             let value = match *key {
                 "encoding" => "binary",
-                k if k.contains("pruning") || k.contains("bound") || k.contains("minimize") => {
+                k if k.contains("pruning")
+                    || k.contains("bound")
+                    || k.contains("minimize")
+                    || k.contains("enabled") =>
+                {
                     "true"
                 }
                 _ => "2",

@@ -60,16 +60,17 @@ pub use error::PipelineError;
 pub use json::{Json, JsonError};
 pub use observe::{CancelFlag, Event, NullObserver, Observer};
 pub use report::{
-    format_summary_table, search_stats_json, BistReport, ConfigEcho, LogicReport, MachineReport,
-    MachineStatus, SessionReport, SolveReport, SuiteReport, SuiteSummary, REPORT_SCHEMA_VERSION,
+    coverage_json, format_summary_table, search_stats_json, BistReport, ConfigEcho, LogicReport,
+    MachineReport, MachineStatus, SessionReport, SolveReport, SuiteReport, SuiteSummary,
+    REPORT_SCHEMA_VERSION,
 };
 #[allow(deprecated)]
 pub use runner::{run_corpus, run_machine};
-pub use runner::{GateLevelLimits, MachineTiming, PipelineConfig, SuiteRun};
+pub use runner::{CoverageConfig, GateLevelLimits, MachineTiming, PipelineConfig, SuiteRun};
 pub use serve::{serve, ServeStats};
 pub use session::{
-    stage_names, BistPlan, Decomposition, Encoded, Netlist, SessionError, Synthesis,
-    SynthesisBuilder,
+    stage_names, BistPlan, CoverageReport, Decomposition, Encoded, Netlist, SessionError,
+    Synthesis, SynthesisBuilder,
 };
 
 #[allow(deprecated)]

@@ -14,7 +14,11 @@ use stc_fsm::benchmarks::{PaperTable1Row, PaperTable2Row};
 /// layout (documented in the README).
 ///
 /// v2: added `config.branch_and_bound` and `solve.subtrees_bound_pruned`
-/// for the branch-and-bound search core.
+/// for the branch-and-bound search core.  Still v2 (additive, no bump):
+/// `bist.measured_coverage` / `bist.undetected_faults` and the
+/// `config.coverage_enabled` / `config.coverage_max_patterns` echo appear
+/// only when the exact coverage stage is enabled — coverage-free reports
+/// keep the original v2 byte layout.
 pub const REPORT_SCHEMA_VERSION: u64 = 2;
 
 /// How far a machine travelled through the pipeline.
@@ -120,6 +124,14 @@ pub struct BistReport {
     pub session2: SessionReport,
     /// Signature-based fault coverage over both sessions.
     pub overall_coverage: f64,
+    /// Exact single-stuck-at coverage of the plan, measured by bit-parallel
+    /// fault simulation of the plan's own stimuli.  `None` when the
+    /// coverage stage is disabled — the fields are then absent from the
+    /// JSON, keeping coverage-free reports byte-identical.
+    pub measured_coverage: Option<f64>,
+    /// Faults of `C1 ∪ C2` no plan pattern detects (measured).  `None` when
+    /// the coverage stage is disabled.
+    pub undetected_faults: Option<usize>,
 }
 
 /// The full pipeline report for one machine.
@@ -195,6 +207,12 @@ pub struct ConfigEcho {
     pub gate_level_max_states: usize,
     /// Gate-level stage input-count limit.
     pub gate_level_max_inputs: usize,
+    /// Whether the exact coverage stage ran.  Echoed into the JSON (along
+    /// with `coverage_max_patterns`) only when `true`, so coverage-free
+    /// reports keep their pre-coverage byte layout.
+    pub coverage_enabled: bool,
+    /// Pattern cap of the coverage measurement (`0` = the plan budget).
+    pub coverage_max_patterns: usize,
 }
 
 /// The complete report of one corpus run.
@@ -259,7 +277,7 @@ impl ConfigEcho {
 }
 
 fn config_json(c: &ConfigEcho) -> Json {
-    Json::Object(vec![
+    let mut entries = vec![
         ("max_nodes".into(), Json::from_u64(c.max_nodes)),
         ("lemma1_pruning".into(), Json::Bool(c.lemma1_pruning)),
         (
@@ -281,7 +299,15 @@ fn config_json(c: &ConfigEcho) -> Json {
             "gate_level_max_inputs".into(),
             Json::from_usize(c.gate_level_max_inputs),
         ),
-    ])
+    ];
+    if c.coverage_enabled {
+        entries.push(("coverage_enabled".into(), Json::Bool(true)));
+        entries.push((
+            "coverage_max_patterns".into(),
+            Json::from_usize(c.coverage_max_patterns),
+        ));
+    }
+    Json::Object(entries)
 }
 
 fn machine_json(m: &MachineReport) -> Json {
@@ -401,11 +427,20 @@ fn session_json(s: &SessionReport) -> Json {
 }
 
 fn bist_json(b: &BistReport) -> Json {
-    Json::Object(vec![
+    let mut entries = vec![
         ("session1".into(), session_json(&b.session1)),
         ("session2".into(), session_json(&b.session2)),
         ("overall_coverage".into(), Json::Number(b.overall_coverage)),
-    ])
+    ];
+    // Measured-coverage fields are additive: absent (not null) when the
+    // coverage stage is off, so pre-coverage goldens stay byte-identical.
+    if let Some(measured) = b.measured_coverage {
+        entries.push(("measured_coverage".into(), Json::Number(measured)));
+    }
+    if let Some(undetected) = b.undetected_faults {
+        entries.push(("undetected_faults".into(), Json::from_usize(undetected)));
+    }
+    Json::Object(entries)
 }
 
 fn summary_json(s: &SuiteSummary) -> Json {
@@ -478,6 +513,57 @@ pub fn search_stats_json(report: &SuiteReport) -> Json {
     ])
 }
 
+/// Extracts the per-machine *measured* fault-coverage results of a suite
+/// report as a compact, deterministic JSON document — the focused artefact
+/// `stc coverage` emits (the CI `coverage-gate` diffs the full report
+/// instead, via `stc run --coverage`).
+///
+/// Machines without a measured coverage section (gate-level stages skipped,
+/// timed out, or coverage disabled) are reported with a `null` entry so a
+/// disappearing machine also fails a diff against this document.
+#[must_use]
+pub fn coverage_json(report: &SuiteReport) -> Json {
+    let machines: Vec<Json> = report
+        .machines
+        .iter()
+        .map(|m| {
+            let mut entries = vec![
+                ("name".into(), Json::String(m.name.clone())),
+                (
+                    "status".into(),
+                    Json::String(m.status.as_json_str().to_string()),
+                ),
+            ];
+            match &m.bist {
+                Some(b) if b.measured_coverage.is_some() => {
+                    entries.push((
+                        "total_faults".into(),
+                        Json::from_usize(b.session1.total_faults + b.session2.total_faults),
+                    ));
+                    entries.push((
+                        "measured_coverage".into(),
+                        Json::Number(b.measured_coverage.unwrap_or(0.0)),
+                    ));
+                    entries.push((
+                        "undetected_faults".into(),
+                        Json::from_usize(b.undetected_faults.unwrap_or(0)),
+                    ));
+                }
+                _ => entries.push(("coverage".into(), Json::Null)),
+            }
+            Json::Object(entries)
+        })
+        .collect();
+    Json::Object(vec![
+        (
+            "schema_version".into(),
+            Json::from_u64(REPORT_SCHEMA_VERSION),
+        ),
+        ("suite".into(), Json::String(report.suite.clone())),
+        ("machines".into(), Json::Array(machines)),
+    ])
+}
+
 /// Formats a compact fixed-width paper-vs-measured table (the Table 1 shape)
 /// for human consumption on stderr; the JSON report is the machine-readable
 /// artefact.
@@ -522,8 +608,13 @@ pub fn format_summary_table(report: &SuiteReport) -> String {
                 )
             },
         );
+        // The measured number replaces the signature-based estimate in the
+        // human-readable table whenever the coverage stage produced one.
         let coverage = m.bist.as_ref().map_or("-".to_string(), |b| {
-            format!("{:.2}%", 100.0 * b.overall_coverage)
+            format!(
+                "{:.2}%",
+                100.0 * b.measured_coverage.unwrap_or(b.overall_coverage)
+            )
         });
         out.push_str(&format!(
             "{:<10} {:>6} {:>5} {:>13} {:>13} {:>12} {:>15} {:>10}\n",

@@ -41,6 +41,34 @@ impl Default for GateLevelLimits {
     }
 }
 
+/// Configuration of the exact fault-coverage measurement of the BIST plan
+/// (the `coverage` stage).  Disabled by default: with `enabled == false` no
+/// coverage stage runs and reports are byte-identical to pre-coverage
+/// reports, so existing golden files are unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoverageConfig {
+    /// Whether to measure exact single-stuck-at coverage of the two-session
+    /// BIST plan (bit-parallel fault simulation of the plan's own stimuli).
+    pub enabled: bool,
+    /// Cap on the patterns applied per session by the measurement.  `0`
+    /// (the default) means no cap: exactly the plan's
+    /// `patterns_per_session` stimuli are simulated.
+    pub max_patterns: usize,
+}
+
+impl CoverageConfig {
+    /// The number of patterns the measurement applies per session for a
+    /// plan with the given pattern budget.
+    #[must_use]
+    pub fn applied_patterns(&self, patterns_per_session: usize) -> usize {
+        if self.max_patterns == 0 {
+            patterns_per_session
+        } else {
+            patterns_per_session.min(self.max_patterns)
+        }
+    }
+}
+
 /// Configuration of a corpus run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipelineConfig {
@@ -56,6 +84,8 @@ pub struct PipelineConfig {
     pub patterns_per_session: usize,
     /// Gate-level stage limits.
     pub gate_level: GateLevelLimits,
+    /// Exact fault-coverage measurement of the BIST plan.
+    pub coverage: CoverageConfig,
     /// Optional per-machine wall-clock timeout, checked between stages.
     /// `None` (the default) keeps the run fully deterministic.
     pub machine_timeout: Option<Duration>,
@@ -76,6 +106,7 @@ impl Default for PipelineConfig {
             synth: SynthOptions::default(),
             patterns_per_session: 256,
             gate_level: GateLevelLimits::default(),
+            coverage: CoverageConfig::default(),
             machine_timeout: None,
         }
     }

@@ -333,6 +333,34 @@ mod tests {
     }
 
     #[test]
+    fn per_request_coverage_override_adds_measured_fields() {
+        let (responses, stats) = serve_lines(
+            "{\"id\": 1, \"machine\": \"tav\", \"overrides\": {\"coverage.enabled\": true}}\n\
+             {\"id\": 2, \"machine\": \"tav\"}\n",
+            1,
+        );
+        assert_eq!(stats.errors, 0);
+        for r in &responses {
+            let id = r.get("id").unwrap().as_u64().unwrap();
+            let bist = r.get("report").unwrap().get("bist").unwrap();
+            let config = r.get("config").unwrap();
+            if id == 1 {
+                // tav's plan is exhaustive for its 2-bit cones: complete.
+                assert_eq!(
+                    bist.get("measured_coverage"),
+                    Some(&Json::Number(1.0)),
+                    "{r:?}"
+                );
+                assert_eq!(bist.get("undetected_faults").unwrap().as_u64(), Some(0));
+                assert_eq!(config.get("coverage_enabled"), Some(&Json::Bool(true)));
+            } else {
+                assert_eq!(bist.get("measured_coverage"), None);
+                assert_eq!(config.get("coverage_enabled"), None);
+            }
+        }
+    }
+
+    #[test]
     fn malformed_and_unknown_requests_get_error_responses_and_the_loop_continues() {
         let input = "not json\n\
                      {\"id\": \"a\", \"machine\": \"nope\"}\n\

@@ -5,7 +5,7 @@
 //! session object producing *typed artifacts* that flow one into the next:
 //!
 //! ```text
-//! Decomposition → Encoded → Netlist → BistPlan → MachineReport
+//! Decomposition → Encoded → Netlist → BistPlan (→ CoverageReport) → MachineReport
 //! ```
 //!
 //! A [`Synthesis`] is built once from a layered [`StcConfig`] (crate
@@ -33,7 +33,7 @@ use crate::report::{
     SuiteSummary,
 };
 use crate::runner::{GateLevelLimits, MachineTiming, PipelineConfig, SuiteRun};
-use stc_bist::{pipeline_self_test, SelfTestResult};
+use stc_bist::{measure_plan_coverage, pipeline_self_test, PlanCoverage, SelfTestResult};
 use stc_encoding::{EncodedPipeline, EncodingStrategy};
 use stc_fsm::{ceil_log2, Mealy};
 use stc_logic::{synthesize_pipeline, PipelineLogic};
@@ -52,6 +52,8 @@ pub mod stage_names {
     pub const LOGIC: &str = "logic";
     /// The BIST session-planning stage.
     pub const BIST: &str = "bist";
+    /// The exact fault-coverage measurement stage (optional).
+    pub const COVERAGE: &str = "coverage";
 }
 
 /// An error surfaced by a typed partial flow.
@@ -180,12 +182,16 @@ pub struct Encoded {
 
 /// The third typed artifact: synthesised two-level covers and gate-level
 /// netlists for `C1`, `C2` and the output logic.
+///
+/// The logic is behind an [`Arc`] so downstream artifacts ([`BistPlan`],
+/// and through it the coverage measurement) can share it without deep
+/// copies; field and method access auto-deref as usual.
 #[derive(Debug, Clone)]
 pub struct Netlist {
     /// The machine's name.
     pub name: String,
     /// The synthesised pipeline logic.
-    pub logic: PipelineLogic,
+    pub logic: Arc<PipelineLogic>,
 }
 
 impl Netlist {
@@ -208,24 +214,65 @@ impl Netlist {
 }
 
 /// The fourth typed artifact: the two-session self-test plan with
-/// signature-based fault-coverage estimates.
+/// signature-based fault-coverage estimates.  Carries the synthesised
+/// logic it was planned for, so the optional fifth artifact
+/// ([`Synthesis::measure_coverage`]: `BistPlan` → [`CoverageReport`]) can
+/// re-apply exactly the plan's stimuli.
 #[derive(Debug, Clone)]
 pub struct BistPlan {
     /// The machine's name.
     pub name: String,
     /// The self-test result (both sessions).
     pub result: SelfTestResult,
+    /// The pipeline logic the plan tests (shared with the [`Netlist`]
+    /// artifact it came from — no deep copy).
+    pub logic: Arc<PipelineLogic>,
 }
 
 impl BistPlan {
-    /// The report section for this artifact.
+    /// The report section for this artifact.  The measured-coverage fields
+    /// stay empty until a [`CoverageReport`] fills them
+    /// ([`CoverageReport::annotate`]).
     #[must_use]
     pub fn bist_report(&self) -> BistReport {
         BistReport {
             overall_coverage: self.result.overall_coverage(),
             session1: session_report(&self.result.session1),
             session2: session_report(&self.result.session2),
+            measured_coverage: None,
+            undetected_faults: None,
         }
+    }
+}
+
+/// The fifth (optional) typed artifact: the exact single-stuck-at coverage
+/// of the BIST plan, measured by bit-parallel simulation of the plan's own
+/// stimuli against the complete fault list of `C1` and `C2`.
+#[derive(Debug, Clone)]
+pub struct CoverageReport {
+    /// The machine's name.
+    pub name: String,
+    /// The per-session measured coverage, including the undetected faults.
+    pub coverage: PlanCoverage,
+}
+
+impl CoverageReport {
+    /// Measured fault coverage over both blocks in `[0, 1]`.
+    #[must_use]
+    pub fn measured_coverage(&self) -> f64 {
+        self.coverage.coverage()
+    }
+
+    /// Number of faults no plan pattern detects.
+    #[must_use]
+    pub fn undetected_faults(&self) -> usize {
+        self.coverage.undetected_faults()
+    }
+
+    /// Fills the measured fields of a [`BistReport`].
+    pub fn annotate(&self, report: &mut BistReport) {
+        report.measured_coverage = Some(self.measured_coverage());
+        report.undetected_faults = Some(self.undetected_faults());
     }
 }
 
@@ -358,6 +405,22 @@ impl SynthesisBuilder {
     #[must_use]
     pub fn patterns_per_session(mut self, patterns: usize) -> Self {
         self.config.pipeline.patterns_per_session = patterns;
+        self
+    }
+
+    /// Enables or disables the exact fault-coverage measurement of the
+    /// BIST plan ([`Synthesis::run`] stage 5; off by default).
+    #[must_use]
+    pub fn coverage(mut self, enabled: bool) -> Self {
+        self.config.pipeline.coverage.enabled = enabled;
+        self
+    }
+
+    /// Caps the patterns applied per session by the coverage measurement
+    /// (`0` = the plan's full pattern budget).
+    #[must_use]
+    pub fn coverage_max_patterns(mut self, max_patterns: usize) -> Self {
+        self.config.pipeline.coverage.max_patterns = max_patterns;
         self
     }
 
@@ -590,7 +653,7 @@ impl Synthesis {
         });
         Netlist {
             name: encoded.name.clone(),
-            logic,
+            logic: Arc::new(logic),
         }
     }
 
@@ -602,7 +665,10 @@ impl Synthesis {
             machine: &netlist.name,
             stage: stage_names::BIST,
         });
-        let result = pipeline_self_test(&netlist.logic, self.config.pipeline.patterns_per_session);
+        let result = pipeline_self_test(
+            netlist.logic.as_ref(),
+            self.config.pipeline.patterns_per_session,
+        );
         self.emit(Event::StageFinished {
             machine: &netlist.name,
             stage: stage_names::BIST,
@@ -610,6 +676,45 @@ impl Synthesis {
         BistPlan {
             name: netlist.name.clone(),
             result,
+            logic: Arc::clone(&netlist.logic),
+        }
+    }
+
+    /// Resumes a flow from a [`BistPlan`]: measures the plan's exact
+    /// single-stuck-at coverage by bit-parallel fault simulation of the
+    /// plan's own stimuli (`coverage.max_patterns` caps the per-session
+    /// pattern count; `0` measures the full plan budget).
+    ///
+    /// Runs regardless of `coverage.enabled` — the flag only controls
+    /// whether [`Self::run`] performs the measurement automatically.  The
+    /// fault list is split over the session's resolved worker count
+    /// (byte-identical results for any value).
+    #[must_use]
+    pub fn measure_coverage(&self, plan: &BistPlan) -> CoverageReport {
+        self.measure_coverage_with_jobs(plan, self.config.resolve_jobs())
+    }
+
+    /// [`Self::measure_coverage`] with an explicit fault-chunk worker
+    /// count.  [`Self::run`] passes 1: inside a corpus run the parallelism
+    /// lives at the machine level already, and nesting thread pools would
+    /// oversubscribe without changing any byte of the result.
+    fn measure_coverage_with_jobs(&self, plan: &BistPlan, jobs: usize) -> CoverageReport {
+        self.emit(Event::StageStarted {
+            machine: &plan.name,
+            stage: stage_names::COVERAGE,
+        });
+        let config = &self.config.pipeline;
+        let patterns = config
+            .coverage
+            .applied_patterns(config.patterns_per_session);
+        let coverage = measure_plan_coverage(plan.logic.as_ref(), patterns, jobs);
+        self.emit(Event::StageFinished {
+            machine: &plan.name,
+            stage: stage_names::COVERAGE,
+        });
+        CoverageReport {
+            name: plan.name.clone(),
+            coverage,
         }
     }
 
@@ -716,6 +821,23 @@ impl Synthesis {
         report.bist = Some(plan.bist_report());
         if past(stage) {
             return finish(report, MachineStatus::TimedOut);
+        }
+
+        // Stage 5 (optional): exact fault coverage of the plan.  Serial
+        // fault-chunk workers here — corpus runs parallelise over machines
+        // — and its own stage-deadline window like the other late stages.
+        if config.coverage.enabled {
+            if self.observer.should_cancel() {
+                return finish(report, MachineStatus::Cancelled);
+            }
+            let stage = self.stage_deadline();
+            let coverage = self.measure_coverage_with_jobs(&plan, 1);
+            if let Some(bist) = report.bist.as_mut() {
+                coverage.annotate(bist);
+            }
+            if past(stage) {
+                return finish(report, MachineStatus::TimedOut);
+            }
         }
         finish(report, MachineStatus::Full)
     }
@@ -854,6 +976,8 @@ pub(crate) fn echo_config(config: &PipelineConfig) -> crate::report::ConfigEcho 
         patterns_per_session: config.patterns_per_session,
         gate_level_max_states: config.gate_level.max_states,
         gate_level_max_inputs: config.gate_level.max_inputs,
+        coverage_enabled: config.coverage.enabled,
+        coverage_max_patterns: config.coverage.max_patterns,
     }
 }
 
@@ -920,6 +1044,79 @@ mod tests {
         let encoded = resumer.encode(&decomposition).unwrap();
         let plan = resumer.plan_bist(&resumer.synthesize_logic(&encoded));
         assert_eq!(plan.result.session1.patterns, 16);
+    }
+
+    #[test]
+    fn coverage_artifact_measures_the_plan_exactly() {
+        let session = small_session();
+        let machine = paper_example();
+        let decomposition = session.decompose_only(&machine);
+        let encoded = session.encode(&decomposition).unwrap();
+        let netlist = session.synthesize_logic(&encoded);
+        let plan = session.plan_bist(&netlist);
+        let coverage = session.measure_coverage(&plan);
+        // The worked example's blocks have 2-bit input cones: 32 de Bruijn
+        // patterns sweep them exhaustively, so the measured coverage is
+        // exactly complete.
+        assert_eq!(coverage.name, machine.name());
+        assert_eq!(coverage.undetected_faults(), 0);
+        assert!((coverage.measured_coverage() - 1.0).abs() < 1e-12);
+        // Annotation fills exactly the two measured fields.
+        let mut report = plan.bist_report();
+        assert_eq!(report.measured_coverage, None);
+        assert_eq!(report.undetected_faults, None);
+        coverage.annotate(&mut report);
+        assert_eq!(report.measured_coverage, Some(1.0));
+        assert_eq!(report.undetected_faults, Some(0));
+    }
+
+    #[test]
+    fn coverage_fields_appear_in_reports_only_when_enabled() {
+        let corpus = filter_by_names(embedded_corpus(), &["tav".to_string()]).unwrap();
+        let off = small_session().run_suite(&corpus, "test");
+        let off_json = off.report.to_json_string();
+        assert!(!off_json.contains("measured_coverage"));
+        assert!(!off_json.contains("coverage_enabled"));
+
+        let on = Synthesis::builder()
+            .max_nodes(10_000)
+            .patterns_per_session(32)
+            .coverage(true)
+            .jobs(1)
+            .build()
+            .run_suite(&corpus, "test");
+        let on_json = on.report.to_json_string();
+        assert!(on_json.contains("\"measured_coverage\""));
+        assert!(on_json.contains("\"undetected_faults\""));
+        assert!(on_json.contains("\"coverage_enabled\": true"));
+        assert!(on_json.contains("\"coverage_max_patterns\": 0"));
+        // The coverage stage is additive: stripped of the new fields, both
+        // reports describe the same synthesis.
+        let on_bist = on.report.machines[0].bist.as_ref().unwrap();
+        let off_bist = off.report.machines[0].bist.as_ref().unwrap();
+        assert_eq!(on_bist.session1, off_bist.session1);
+        assert_eq!(on_bist.overall_coverage, off_bist.overall_coverage);
+    }
+
+    #[test]
+    fn coverage_max_patterns_caps_the_measurement() {
+        let machine = paper_example();
+        let session = Synthesis::builder()
+            .patterns_per_session(32)
+            .coverage(true)
+            .coverage_max_patterns(1)
+            .jobs(1)
+            .build();
+        let plan = {
+            let decomposition = session.decompose_only(&machine);
+            let encoded = session.encode(&decomposition).unwrap();
+            session.plan_bist(&session.synthesize_logic(&encoded))
+        };
+        let capped = session.measure_coverage(&plan);
+        assert_eq!(capped.coverage.session1.patterns, 1);
+        assert!(capped.measured_coverage() < 1.0);
+        // The plan itself still used the full 32-pattern budget.
+        assert_eq!(plan.result.session1.patterns, 32);
     }
 
     #[test]

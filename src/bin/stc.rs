@@ -2,9 +2,12 @@
 //! controllers over a corpus, a long-lived JSON-lines service, and the
 //! perf-regression gate used in CI.
 //!
-//! * `stc run` — drive the full flow (OSTR solve → encode → logic → BIST)
-//!   over the embedded benchmark suite or a directory of KISS2 files, in
-//!   parallel, and emit a deterministic JSON report.
+//! * `stc run` — drive the full flow (OSTR solve → encode → logic → BIST,
+//!   plus the exact fault-coverage stage with `--coverage`) over the
+//!   embedded benchmark suite or a directory of KISS2 files, in parallel,
+//!   and emit a deterministic JSON report.
+//! * `stc coverage` — the same flow with the coverage stage forced on,
+//!   emitting the focused per-machine measured-coverage JSON.
 //! * `stc serve` — serve one-machine synthesis requests over
 //!   stdin/stdout (one JSON request per line, one JSON response per line).
 //! * `stc bench-check` — run the bench harness and compare against the
@@ -18,9 +21,9 @@
 //! and the re-baselining workflow.
 
 use stc::pipeline::{
-    compare_benchmarks, embedded_corpus, filter_by_names, format_summary_table, kiss2_corpus,
-    load_baseline_dir, search_stats_json, serve, BenchMeasurement, CorpusEntry, Event, Observer,
-    PipelineError, StcConfig, SuiteRun, Synthesis,
+    compare_benchmarks, coverage_json, embedded_corpus, filter_by_names, format_summary_table,
+    kiss2_corpus, load_baseline_dir, search_stats_json, serve, BenchMeasurement, CorpusEntry,
+    Event, Observer, PipelineError, StcConfig, SuiteRun, Synthesis,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -32,6 +35,8 @@ stc — synthesis of self-testable controllers (Hellebrand & Wunderlich, EURO-DA
 
 USAGE:
     stc run [OPTIONS]            run the batch pipeline and print a JSON report
+    stc coverage [OPTIONS]       run the pipeline with the exact fault-coverage
+                                 stage and print the per-machine coverage JSON
     stc serve [OPTIONS]          serve synthesis requests over stdin/stdout
                                  (JSON lines; see README 'The serve protocol')
     stc list [OPTIONS]           list the machines of the selected corpus
@@ -68,10 +73,20 @@ CONFIG OPTIONS (run, serve; layered over --profile, which layers over defaults):
                                  repeatable — the full key list is at the bottom
 
 RUN OPTIONS:
+    --coverage                   measure exact single-stuck-at coverage of each
+                                 machine's BIST plan (bit-parallel fault
+                                 simulation of the plan's own stimuli); adds
+                                 bist.measured_coverage / bist.undetected_faults
+                                 to the report
     --progress                   live per-stage / solver-progress events on stderr
     --out <FILE>                 write the JSON report to FILE instead of stdout
     --stats-out <FILE>           also write the per-machine search-effort stats
                                  (the CI search-stats gate artefact) to FILE
+
+COVERAGE OPTIONS (corpus + config options also apply):
+    --out <FILE>                 write the coverage JSON to FILE instead of stdout
+    --max-patterns <N>           cap patterns per session in the measurement
+                                 (0 = the plan's full budget, the default)
 
 BENCH-CHECK OPTIONS:
     --baseline-dir <DIR>         committed baselines (default: crates/bench)
@@ -107,6 +122,7 @@ fn main() -> ExitCode {
     let rest = &args[1..];
     let result = match command.as_str() {
         "run" => cmd_run(rest),
+        "coverage" => cmd_coverage(rest),
         "serve" => cmd_serve(rest),
         "list" => cmd_list(rest),
         "bench-check" => cmd_bench_check(rest),
@@ -326,6 +342,9 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             continue;
         }
         match flag.as_str() {
+            "--coverage" => config_args
+                .overrides
+                .push(("coverage.enabled".into(), "true".into())),
             "--progress" => progress = true,
             "--out" => out = Some(PathBuf::from(take_value(flag, &mut iter)?)),
             "--stats-out" => stats_out = Some(PathBuf::from(take_value(flag, &mut iter)?)),
@@ -371,6 +390,59 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
     }
     let json = report.to_json_string();
+    match out {
+        Some(path) => std::fs::write(&path, &json)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?,
+        None => print!("{json}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `stc coverage`: the pipeline with the exact fault-coverage stage forced
+/// on, emitting the focused per-machine coverage JSON (the full report —
+/// which the CI `coverage-gate` diffs — comes from `stc run --coverage`).
+fn cmd_coverage(args: &[String]) -> Result<ExitCode, String> {
+    let mut corpus_args = CorpusArgs::new();
+    let mut config_args = ConfigArgs::new();
+    let mut out: Option<PathBuf> = None;
+
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        if parse_corpus_flag(flag, &mut iter, &mut corpus_args)?
+            || config_args.parse_flag(flag, &mut iter)?
+        {
+            continue;
+        }
+        match flag.as_str() {
+            "--out" => out = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--max-patterns" => config_args.overrides.push((
+                "coverage.max_patterns".into(),
+                take_value(flag, &mut iter)?.clone(),
+            )),
+            other => return Err(format!("unknown flag '{other}' for 'stc coverage'")),
+        }
+    }
+    let mut config = config_args.build()?;
+    config
+        .set("coverage.enabled", "true")
+        .map_err(|e| e.to_string())?;
+    let jobs = config.resolve_jobs();
+
+    let (label, corpus) = corpus_args.load()?;
+    if corpus.is_empty() {
+        return Err(PipelineError::EmptyCorpus(label).to_string());
+    }
+    eprintln!(
+        "stc coverage: {} machines from '{label}', {jobs} worker(s){}",
+        corpus.len(),
+        if config.jobs == 0 { " [auto]" } else { "" }
+    );
+
+    let session = Synthesis::builder().config(config).build();
+    let SuiteRun { report, .. } = session.run_suite(&corpus, &label);
+    eprint!("{}", format_summary_table(&report));
+
+    let json = coverage_json(&report).to_pretty();
     match out {
         Some(path) => std::fs::write(&path, &json)
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?,

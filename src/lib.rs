@@ -29,11 +29,13 @@
 //! The staged flow is driven through one **session API**: a [`Synthesis`]
 //! built from a layered [`StcConfig`] produces typed artifacts that flow one
 //! into the next — [`Decomposition`] → [`Encoded`] → `Netlist` → [`BistPlan`]
-//! → [`pipeline::MachineReport`] — with progress events and cooperative
+//! (→ [`CoverageReport`], the exact measured fault coverage of the plan) →
+//! [`pipeline::MachineReport`] — with progress events and cooperative
 //! cancellation via [`Observer`].  The `stc` binary (`src/bin/stc.rs`)
-//! exposes the same flow as `stc run` (batch), `stc serve` (a JSON-lines
-//! request loop) and the perf-regression gate; see the README for flags,
-//! the report schema and the old-API migration table.
+//! exposes the same flow as `stc run` (batch), `stc coverage` (measured
+//! fault coverage), `stc serve` (a JSON-lines request loop) and the
+//! perf-regression gate; see the README for flags, the report schema and
+//! the old-API migration table.
 //!
 //! # Quickstart
 //!
@@ -91,8 +93,8 @@ pub use stc_pipeline as pipeline;
 // `stc::pipeline::Netlist`; the root keeps `stc::logic::Netlist` for the
 // gate-level type.)
 pub use stc_pipeline::{
-    BistPlan, CancelFlag, ConfigError, Decomposition, Encoded, Event, NullObserver, Observer,
-    SessionError, StcConfig, Synthesis, SynthesisBuilder,
+    BistPlan, CancelFlag, ConfigError, CoverageReport, Decomposition, Encoded, Event, NullObserver,
+    Observer, SessionError, StcConfig, Synthesis, SynthesisBuilder,
 };
 
 /// The most commonly used items, for glob import in examples and tests.

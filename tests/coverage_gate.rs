@@ -1,0 +1,68 @@
+//! The coverage regression gate, enforced from the test suite.
+//!
+//! CI diffs `stc run --suite embedded --coverage` against
+//! `tests/golden/coverage.json`; this test enforces the same golden from
+//! `cargo test`, so a change in the synthesised logic, the BIST plan, or the
+//! fault simulator that moves the *measured* single-stuck-at coverage of any
+//! embedded machine fails fast locally.  Re-golden after an intentional
+//! change:
+//!
+//! ```text
+//! cargo run --release --bin stc -- run --suite embedded --jobs 2 \
+//!     --coverage --out tests/golden/coverage.json
+//! ```
+//!
+//! and review the coverage diff like any other code change — a machine whose
+//! `measured_coverage` drops below 1.0 means the self-test plan no longer
+//! detects every single-stuck-at fault of its blocks.
+
+use stc::pipeline::{embedded_corpus, StcConfig, Synthesis};
+
+#[test]
+fn embedded_coverage_report_matches_the_committed_golden() {
+    let mut config = StcConfig::default();
+    config.set("coverage.enabled", "true").unwrap();
+    config.set("jobs", "2").unwrap();
+    assert_eq!(
+        config.pipeline.coverage.max_patterns, 0,
+        "the gate must measure the full plan budget"
+    );
+    // One suite synthesis feeds both assertions below — the golden diff
+    // and the claim check — so the gate pays for the embedded run once.
+    let run = Synthesis::builder()
+        .config(config)
+        .build()
+        .run_suite(&embedded_corpus(), "embedded");
+
+    let fresh = run.report.to_json_string();
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/coverage.json");
+    let golden =
+        std::fs::read_to_string(golden_path).expect("tests/golden/coverage.json is committed");
+    assert_eq!(
+        fresh, golden,
+        "the measured-coverage report diverged from tests/golden/coverage.json; \
+         if the change is intentional, re-golden (see this file's module docs) \
+         and review the coverage impact"
+    );
+
+    // The paper's claim, measured: for every embedded machine that reaches
+    // the gate-level stages, the two-session plan detects *all* single
+    // stuck-at faults of C1 and C2 under the default pattern budget.
+    let mut gate_level_machines = 0;
+    for machine in &run.report.machines {
+        if let Some(bist) = &machine.bist {
+            gate_level_machines += 1;
+            assert_eq!(
+                bist.measured_coverage,
+                Some(1.0),
+                "{}: measured coverage below 100%",
+                machine.name
+            );
+            assert_eq!(bist.undetected_faults, Some(0), "{}", machine.name);
+        }
+    }
+    assert_eq!(
+        gate_level_machines, 9,
+        "the claim must cover the 9 full machines"
+    );
+}
