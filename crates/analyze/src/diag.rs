@@ -1,0 +1,210 @@
+//! The structured diagnostics framework: stable codes, severities and
+//! locations, shared by the FSM lints and the netlist analysis.
+//!
+//! Every diagnostic carries a *stable* code from [`DIAGNOSTIC_CODES`] — the
+//! contract the `analysis.deny` configuration key and the committed golden
+//! lint reports are written against — plus a default severity, a
+//! human-readable location (a state, an input column, a line/column span or
+//! a netlist node) and a message.  Codes are never renamed or reused; new
+//! lints add new codes.
+
+use std::fmt;
+
+/// How serious a diagnostic is.  Ordered: `Info < Warning < Error`.
+///
+/// The default severity of each code is part of [`DIAGNOSTIC_CODES`]; the
+/// pipeline's `analysis.deny` list promotes named codes to [`Severity::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: a property worth knowing, not a defect (benchmark
+    /// machines routinely have redundant input columns, for example).
+    Info,
+    /// A likely specification or synthesis defect that does not block the
+    /// flow.
+    Warning,
+    /// A defect that makes the artifact unusable or the analysis unsound.
+    Error,
+}
+
+impl Severity {
+    /// The severity as the lowercase string used in JSON reports.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Every diagnostic code, with its default severity and a one-line
+/// description — kept next to the lint implementations so the list cannot
+/// drift, and used to validate `analysis.deny` entries and to generate the
+/// documentation table.
+pub const DIAGNOSTIC_CODES: &[(&str, Severity, &str)] = &[
+    (
+        "fsm-unreachable-state",
+        Severity::Warning,
+        "state not reachable from the reset state",
+    ),
+    (
+        "fsm-mergeable-states",
+        Severity::Info,
+        "equivalent states that a state minimisation would merge",
+    ),
+    (
+        "fsm-constant-input",
+        Severity::Info,
+        "input symbols driving every state to one fixed (next state, output)",
+    ),
+    (
+        "fsm-duplicate-input",
+        Severity::Info,
+        "input symbols whose transition/output columns duplicate another symbol",
+    ),
+    (
+        "kiss2-syntax",
+        Severity::Error,
+        "malformed KISS2 text (bad directive, token or width)",
+    ),
+    (
+        "kiss2-incomplete",
+        Severity::Error,
+        "KISS2 description leaves a (state, input) pair unspecified",
+    ),
+    (
+        "kiss2-conflict",
+        Severity::Error,
+        "overlapping KISS2 cubes specify conflicting transitions",
+    ),
+    (
+        "kiss2-duplicate-transition",
+        Severity::Warning,
+        "identical KISS2 transition line appears more than once",
+    ),
+    (
+        "net-cycle",
+        Severity::Error,
+        "gate whose fan-in does not precede it (combinational loop)",
+    ),
+    (
+        "net-dead-gate",
+        Severity::Warning,
+        "gate with no path to any primary output or MISR tap",
+    ),
+    (
+        "net-unused-input",
+        Severity::Info,
+        "primary input with no fanout in the block",
+    ),
+    (
+        "net-constant-output",
+        Severity::Info,
+        "primary output driven by a constant",
+    ),
+];
+
+/// Whether `code` is a registered diagnostic code.
+#[must_use]
+pub fn is_known_code(code: &str) -> bool {
+    DIAGNOSTIC_CODES.iter().any(|(c, _, _)| *c == code)
+}
+
+/// The default severity of a registered code.
+///
+/// # Panics
+///
+/// Panics if `code` is not in [`DIAGNOSTIC_CODES`] — lints construct
+/// diagnostics only through [`Diagnostic::new`], which keeps the registry
+/// and the implementations in lock-step.
+#[must_use]
+pub fn default_severity(code: &str) -> Severity {
+    DIAGNOSTIC_CODES
+        .iter()
+        .find(|(c, _, _)| *c == code)
+        .map(|(_, s, _)| *s)
+        .unwrap_or_else(|| panic!("unregistered diagnostic code '{code}'"))
+}
+
+/// One finding of the static analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code from [`DIAGNOSTIC_CODES`].
+    pub code: &'static str,
+    /// Effective severity (the code's default, unless promoted by a deny
+    /// list downstream).
+    pub severity: Severity,
+    /// Where the finding is: a state, an input column, a `line L, column C`
+    /// span or a netlist node — human-readable and stable across runs.
+    pub location: String,
+    /// What was found.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// A diagnostic with the code's default severity.
+    #[must_use]
+    pub fn new(
+        code: &'static str,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            code,
+            severity: default_severity(code),
+            location: location.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.location, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_known() {
+        for (i, (code, _, _)) in DIAGNOSTIC_CODES.iter().enumerate() {
+            assert!(is_known_code(code));
+            assert!(
+                !DIAGNOSTIC_CODES[i + 1..].iter().any(|(c, _, _)| c == code),
+                "duplicate code {code}"
+            );
+        }
+        assert!(!is_known_code("no-such-code"));
+    }
+
+    #[test]
+    fn severity_orders_and_prints() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Warning.to_string(), "warning");
+    }
+
+    #[test]
+    fn diagnostic_display_carries_all_parts() {
+        let d = Diagnostic::new("net-cycle", "C1 node 3", "fan-in 7 does not precede gate 3");
+        assert_eq!(d.severity, Severity::Error);
+        let text = d.to_string();
+        assert!(text.contains("error"));
+        assert!(text.contains("net-cycle"));
+        assert!(text.contains("C1 node 3"));
+    }
+}

@@ -1,0 +1,314 @@
+//! FSM-level lints: structural findings on a [`Mealy`] machine and on raw
+//! KISS2 text.
+//!
+//! Machine-level lints ([`lint_machine`]) operate on the fully specified
+//! [`Mealy`] type and reuse the existing reachability and state-equivalence
+//! machinery of `stc-fsm`.  Source-level lints ([`lint_kiss2`]) operate on
+//! the KISS2 text, where incompleteness, conflicting cubes and duplicated
+//! transition lines are still visible — the `Mealy` builder either rejects
+//! or silently normalises them away.
+
+use crate::diag::Diagnostic;
+use stc_fsm::{kiss2, reachable_states, state_equivalence, FsmError, Mealy};
+
+/// Runs every machine-level lint, returning findings in a deterministic
+/// order: unreachable states (state order), mergeable-state classes (class
+/// order), then the aggregated input-column findings.
+#[must_use]
+pub fn lint_machine(machine: &Mealy) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    lint_unreachable(machine, &mut diags);
+    lint_mergeable(machine, &mut diags);
+    lint_input_columns(machine, &mut diags);
+    diags
+}
+
+/// `fsm-unreachable-state`: states with no path from the reset state.
+fn lint_unreachable(machine: &Mealy, diags: &mut Vec<Diagnostic>) {
+    let mut reachable = vec![false; machine.num_states()];
+    for s in reachable_states(machine) {
+        reachable[s] = true;
+    }
+    for (s, &ok) in reachable.iter().enumerate() {
+        if !ok {
+            diags.push(Diagnostic::new(
+                "fsm-unreachable-state",
+                format!("state {}", machine.state_name(s)),
+                format!(
+                    "not reachable from the reset state {}",
+                    machine.state_name(machine.reset_state())
+                ),
+            ));
+        }
+    }
+}
+
+/// `fsm-mergeable-states`: one finding per nontrivial class of the coarsest
+/// output-consistent equivalence (the machine is not reduced).
+fn lint_mergeable(machine: &Mealy, diags: &mut Vec<Diagnostic>) {
+    let pi = state_equivalence(machine);
+    for block in pi.blocks() {
+        if block.len() > 1 {
+            let names: Vec<&str> = block.iter().map(|&s| machine.state_name(s)).collect();
+            diags.push(Diagnostic::new(
+                "fsm-mergeable-states",
+                format!("states {}", names.join(", ")),
+                format!(
+                    "{} states are pairwise equivalent and could be merged",
+                    block.len()
+                ),
+            ));
+        }
+    }
+}
+
+/// `fsm-constant-input` and `fsm-duplicate-input`, aggregated into at most
+/// one finding each: benchmark machines expand KISS2 don't-care cubes into
+/// many identical input columns, so per-column findings would drown the
+/// report.
+fn lint_input_columns(machine: &Mealy, diags: &mut Vec<Diagnostic>) {
+    let states = machine.num_states();
+    let column = |i: usize| -> Vec<(usize, usize)> {
+        (0..states)
+            .map(|s| (machine.next_state(s, i), machine.output(s, i)))
+            .collect()
+    };
+
+    let mut constants: Vec<usize> = Vec::new();
+    let mut duplicates = 0usize;
+    let mut seen: Vec<(Vec<(usize, usize)>, usize)> = Vec::new();
+    for i in 0..machine.num_inputs() {
+        let col = column(i);
+        if states > 1 && col.iter().all(|entry| *entry == col[0]) {
+            constants.push(i);
+        }
+        if seen.iter().any(|(other, _)| *other == col) {
+            duplicates += 1;
+        } else {
+            seen.push((col, i));
+        }
+    }
+
+    if !constants.is_empty() {
+        let names: Vec<&str> = constants
+            .iter()
+            .take(4)
+            .map(|&i| machine.input_name(i))
+            .collect();
+        let ellipsis = if constants.len() > 4 { ", …" } else { "" };
+        diags.push(Diagnostic::new(
+            "fsm-constant-input",
+            "inputs".to_string(),
+            format!(
+                "{} input symbol(s) drive every state to one fixed (next state, output): {}{}",
+                constants.len(),
+                names.join(", "),
+                ellipsis
+            ),
+        ));
+    }
+    if duplicates > 0 {
+        diags.push(Diagnostic::new(
+            "fsm-duplicate-input",
+            "inputs".to_string(),
+            format!(
+                "{duplicates} of {} input symbols duplicate another symbol's column ({} distinct)",
+                machine.num_inputs(),
+                seen.len()
+            ),
+        ));
+    }
+}
+
+/// Lints raw KISS2 text: duplicated transition lines (which the parser
+/// accepts silently) plus any parse failure mapped onto `kiss2-*` codes with
+/// the parser's line/column/token span.
+#[must_use]
+pub fn lint_kiss2(text: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // Duplicated transition lines: same cube, states and output repeated.
+    // Identical duplicates are benign to the builder (the transitions agree)
+    // but almost always a copy-paste defect in the source.
+    let mut seen: Vec<(Vec<&str>, usize)> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() || line.starts_with('.') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if let Some((_, first)) = seen.iter().find(|(other, _)| *other == fields) {
+            diags.push(Diagnostic::new(
+                "kiss2-duplicate-transition",
+                format!("line {}", lineno + 1),
+                format!("transition `{line}` duplicates line {first}"),
+            ));
+        } else {
+            seen.push((fields, lineno + 1));
+        }
+    }
+
+    if let Err(error) = kiss2::parse(text, "lint") {
+        diags.push(parse_error_diagnostic(&error));
+    }
+    diags
+}
+
+/// Maps a parse failure onto the `kiss2-*` diagnostic codes.
+fn parse_error_diagnostic(error: &FsmError) -> Diagnostic {
+    match error {
+        FsmError::Incomplete { state, input } => Diagnostic::new(
+            "kiss2-incomplete",
+            format!("state {state}, input {input}"),
+            "description leaves this (state, input) pair unspecified".to_string(),
+        ),
+        FsmError::ConflictingTransition { state, input } => Diagnostic::new(
+            "kiss2-conflict",
+            format!("state {state}, input {input}"),
+            "conflicting transitions for this (state, input) pair".to_string(),
+        ),
+        FsmError::Kiss2 {
+            line,
+            column,
+            message,
+            ..
+        } => {
+            let code = if message.contains("conflicting transitions") {
+                "kiss2-conflict"
+            } else {
+                "kiss2-syntax"
+            };
+            let location = match (line, column) {
+                (0, _) => "file".to_string(),
+                (l, 0) => format!("line {l}"),
+                (l, c) => format!("line {l}, column {c}"),
+            };
+            Diagnostic::new(code, location, message.clone())
+        }
+        other => Diagnostic::new("kiss2-syntax", "file".to_string(), other.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stc_fsm::paper_example;
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn paper_example_has_unreachable_states() {
+        // The worked example's reset state reaches only {s0, s2}.
+        let diags = lint_machine(&paper_example());
+        assert!(codes(&diags).contains(&"fsm-unreachable-state"));
+    }
+
+    #[test]
+    fn reduced_strongly_connected_machine_is_clean() {
+        let m = stc_fsm::benchmarks::tav();
+        let diags = lint_machine(&m);
+        assert!(
+            !codes(&diags).contains(&"fsm-unreachable-state"),
+            "{diags:?}"
+        );
+        assert!(
+            !codes(&diags).contains(&"fsm-mergeable-states"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn mergeable_states_are_flagged() {
+        // States 1 and 2 have identical rows, so they are equivalent.
+        let mut b = Mealy::builder("m", 3, 1, 2);
+        b.transition(0, 0, 1, 0).unwrap();
+        b.transition(1, 0, 0, 1).unwrap();
+        b.transition(2, 0, 0, 1).unwrap();
+        let m = b.build().unwrap();
+        let diags = lint_machine(&m);
+        assert!(codes(&diags).contains(&"fsm-mergeable-states"), "{diags:?}");
+    }
+
+    #[test]
+    fn constant_and_duplicate_input_columns_are_flagged_once() {
+        // Input 0: a toggle; inputs 1 and 2: both constant to state 0 /
+        // output 0 (so input 2 also duplicates input 1).
+        let mut b = Mealy::builder("m", 2, 3, 2);
+        for s in 0..2 {
+            b.transition(s, 0, 1 - s, 1).unwrap();
+            b.transition(s, 1, 0, 0).unwrap();
+            b.transition(s, 2, 0, 0).unwrap();
+        }
+        let m = b.build().unwrap();
+        let diags = lint_machine(&m);
+        let c = codes(&diags);
+        assert_eq!(
+            c.iter().filter(|&&x| x == "fsm-constant-input").count(),
+            1,
+            "{diags:?}"
+        );
+        assert_eq!(
+            c.iter().filter(|&&x| x == "fsm-duplicate-input").count(),
+            1,
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn kiss2_duplicate_transition_lines_are_flagged() {
+        let text = "\
+.i 1
+.o 1
+.s 1
+0 a a 0
+1 a a 1
+0 a a 0
+";
+        let diags = lint_kiss2(text);
+        assert!(codes(&diags).contains(&"kiss2-duplicate-transition"));
+        let dup = diags
+            .iter()
+            .find(|d| d.code == "kiss2-duplicate-transition")
+            .unwrap();
+        assert!(dup.location.contains("line 6"), "{dup:?}");
+        assert!(dup.message.contains("line 4"), "{dup:?}");
+    }
+
+    #[test]
+    fn kiss2_incomplete_and_conflicts_map_to_their_codes() {
+        let incomplete = "\
+.i 1
+.o 1
+0 a b 1
+1 b a 0
+";
+        assert!(codes(&lint_kiss2(incomplete)).contains(&"kiss2-incomplete"));
+        let conflict = "\
+.i 1
+.o 1
+- a a 0
+1 a b 1
+";
+        assert!(codes(&lint_kiss2(conflict)).contains(&"kiss2-conflict"));
+        let syntax = ".i x\n";
+        assert!(codes(&lint_kiss2(syntax)).contains(&"kiss2-syntax"));
+    }
+
+    #[test]
+    fn clean_kiss2_text_yields_no_findings() {
+        let text = "\
+.i 1
+.o 1
+.s 2
+.r a
+0 a a 0
+1 a b 0
+0 b b 1
+1 b a 1
+.e
+";
+        assert!(lint_kiss2(text).is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! Static testability and structural analysis for the synthesis flow.
+//!
+//! The paper's economic argument is that self-testable decomposition is only
+//! worth it when the resulting logic is actually testable.  The rest of the
+//! workspace *measures* testability (exact fault simulation, `stc-bist`);
+//! this crate *predicts* it statically and flags structural defects before
+//! any solver or simulation time is spent:
+//!
+//! * **FSM lints** ([`lint_machine`], [`lint_kiss2`]): unreachable states,
+//!   mergeable (equivalent) states, constant and duplicate input columns,
+//!   and KISS2-source defects (syntax, incomplete or conflicting
+//!   specifications, duplicated transition lines).
+//! * **Netlist structural analysis** ([`analyze_block`]): topological-order
+//!   (combinational-loop) validation, dead gates with no path to any primary
+//!   output or MISR tap, unused inputs, constant outputs, and fanout /
+//!   logic-depth statistics built on [`stc_logic::Netlist::levelize`].
+//! * **Static testability** ([`Scoap`]): SCOAP-style controllability
+//!   (`CC0`/`CC1`) and observability (`CO`) per net, with a ranked
+//!   hard-to-test list.  The ranking is validated against the exact fault
+//!   simulator: on a deliberately shortened BIST plan, the undetected faults
+//!   concentrate in the SCOAP-worst decile of nets (see
+//!   `tests/scoap_validation.rs` and DESIGN.md §8).
+//!
+//! Everything is reported through one structured [`Diagnostic`] framework
+//! (stable code, severity, location, message) that the pipeline crate
+//! serialises into its deterministic JSON reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diag;
+mod fsm;
+mod netlist;
+mod scoap;
+
+pub use diag::{default_severity, is_known_code, Diagnostic, Severity, DIAGNOSTIC_CODES};
+pub use fsm::{lint_kiss2, lint_machine};
+pub use netlist::{analyze_block, BlockAnalysis, HardNet, NetlistStats};
+pub use scoap::{Scoap, UNCONTROLLABLE};

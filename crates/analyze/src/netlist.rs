@@ -1,0 +1,240 @@
+//! Netlist structural analysis: topology validation, dead logic and
+//! fanout / depth statistics, plus the SCOAP hard-to-test ranking of one
+//! combinational block.
+
+use crate::diag::Diagnostic;
+use crate::scoap::Scoap;
+use stc_logic::{Gate, Netlist, NodeId};
+
+/// Structural statistics of one combinational block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Gates (NOT/AND/OR), as counted by [`Netlist::gate_count`].
+    pub gates: usize,
+    /// Gate-input connections (the two-level area proxy).
+    pub literals: usize,
+    /// Logic depth in gate levels.
+    pub depth: usize,
+    /// Number of levelized groups (`depth + 1` on a well-formed netlist).
+    pub levels: usize,
+    /// Largest fanout of any net (fan-in references plus output taps).
+    pub max_fanout: usize,
+    /// Gates with no path to any primary output.
+    pub dead_gates: usize,
+}
+
+/// One entry of the ranked hard-to-test list: a fault site with its SCOAP
+/// metrics and hardness score.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HardNet {
+    /// The net (node id in the block's netlist).
+    pub node: NodeId,
+    /// Cost of driving the net to 0.
+    pub cc0: u32,
+    /// Cost of driving the net to 1.
+    pub cc1: u32,
+    /// Cost of observing the net at a primary output.
+    pub co: u32,
+    /// The hardness score `max(CC0, CC1) + CO`.
+    pub score: u32,
+}
+
+/// The complete static analysis of one combinational block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockAnalysis {
+    /// Block name (`C1`, `C2`, `output`, …).
+    pub block: String,
+    /// Structural findings, in deterministic order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Structure statistics.
+    pub stats: NetlistStats,
+    /// The `hard_nets` hardest fault sites, hardest first.
+    pub hard_nets: Vec<HardNet>,
+}
+
+/// Analyses one combinational block: validates the topological invariant
+/// (any violation would be a combinational loop), finds dead gates, unused
+/// inputs and constant outputs, collects fanout/depth statistics via
+/// [`Netlist::levelize`], and ranks the `hard_nets` hardest fault sites by
+/// SCOAP score.
+#[must_use]
+pub fn analyze_block(block: &str, netlist: &Netlist, hard_nets: usize) -> BlockAnalysis {
+    let gates = netlist.gates();
+    let mut diagnostics = Vec::new();
+
+    // Combinational-loop detection.  The `Netlist` representation stores
+    // gates in topological order (fan-ins have smaller ids) by construction,
+    // so a feedback path cannot be expressed without violating that order —
+    // checking the order *is* the loop check, and doubles as a validation
+    // of the invariant every evaluator in `stc-logic` relies on.
+    for (id, gate) in gates.iter().enumerate() {
+        for f in gate.fanins() {
+            if f >= id {
+                diagnostics.push(Diagnostic::new(
+                    "net-cycle",
+                    format!("{block} node {id}"),
+                    format!("fan-in {f} does not precede the gate (combinational loop)"),
+                ));
+            }
+        }
+    }
+
+    // Backward reachability from the primary outputs (the nets a MISR would
+    // tap): anything unmarked can never influence a signature.
+    let mut live = vec![false; gates.len()];
+    for &o in netlist.outputs() {
+        live[o] = true;
+    }
+    for id in (0..gates.len()).rev() {
+        if live[id] {
+            for f in gates[id].fanins() {
+                live[f] = true;
+            }
+        }
+    }
+    let dead: Vec<NodeId> = (0..gates.len())
+        .filter(|&id| !live[id] && !matches!(gates[id], Gate::Input(_) | Gate::Const(_)))
+        .collect();
+    if !dead.is_empty() {
+        let shown: Vec<String> = dead.iter().take(4).map(|id| format!("{id}")).collect();
+        let ellipsis = if dead.len() > 4 { ", …" } else { "" };
+        diagnostics.push(Diagnostic::new(
+            "net-dead-gate",
+            format!("{block} nodes {}{}", shown.join(", "), ellipsis),
+            format!(
+                "{} gate(s) have no path to any primary output or MISR tap",
+                dead.len()
+            ),
+        ));
+    }
+    let unused: Vec<usize> = gates
+        .iter()
+        .enumerate()
+        .filter_map(|(id, gate)| match gate {
+            Gate::Input(i) if !live[id] => Some(*i),
+            _ => None,
+        })
+        .collect();
+    if !unused.is_empty() {
+        let shown: Vec<String> = unused.iter().take(4).map(|i| format!("{i}")).collect();
+        let ellipsis = if unused.len() > 4 { ", …" } else { "" };
+        diagnostics.push(Diagnostic::new(
+            "net-unused-input",
+            format!("{block} inputs {}{}", shown.join(", "), ellipsis),
+            format!("{} primary input(s) have no fanout", unused.len()),
+        ));
+    }
+    for (k, &o) in netlist.outputs().iter().enumerate() {
+        if let Gate::Const(value) = gates[o] {
+            diagnostics.push(Diagnostic::new(
+                "net-constant-output",
+                format!("{block} output {k}"),
+                format!("stuck at constant {}", u8::from(value)),
+            ));
+        }
+    }
+
+    // Fanout and depth statistics.
+    let mut fanout = vec![0usize; gates.len()];
+    for gate in gates {
+        for f in gate.fanins() {
+            fanout[f] += 1;
+        }
+    }
+    for &o in netlist.outputs() {
+        fanout[o] += 1;
+    }
+    let stats = NetlistStats {
+        gates: netlist.gate_count(),
+        literals: netlist.literal_count(),
+        depth: netlist.depth(),
+        levels: netlist.levelize().len(),
+        max_fanout: fanout.iter().copied().max().unwrap_or(0),
+        dead_gates: dead.len(),
+    };
+
+    let scoap = Scoap::compute(netlist);
+    let sites = netlist.fault_sites();
+    let hard_nets = scoap
+        .ranked_sites(&sites)
+        .into_iter()
+        .take(hard_nets)
+        .map(|node| HardNet {
+            node,
+            cc0: scoap.cc0[node],
+            cc1: scoap.cc1[node],
+            co: scoap.co[node],
+            score: scoap.difficulty(node),
+        })
+        .collect();
+
+    BlockAnalysis {
+        block: block.to_string(),
+        diagnostics,
+        stats,
+        hard_nets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stc_logic::{Cover, Cube};
+
+    fn xor_block() -> Netlist {
+        let mut cover = Cover::new(2);
+        cover.push(Cube::parse("10").unwrap());
+        cover.push(Cube::parse("01").unwrap());
+        Netlist::from_covers(2, &[cover])
+    }
+
+    #[test]
+    fn well_formed_block_is_clean_with_stats() {
+        let n = xor_block();
+        let a = analyze_block("C1", &n, 5);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+        assert_eq!(a.stats.gates, n.gate_count());
+        assert_eq!(a.stats.depth, n.depth());
+        assert_eq!(a.stats.levels, a.stats.depth + 1);
+        assert!(a.stats.max_fanout >= 2, "xor inputs fan out twice");
+        assert_eq!(a.stats.dead_gates, 0);
+        assert!(!a.hard_nets.is_empty());
+        // Hardest first.
+        for pair in a.hard_nets.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn unused_input_is_flagged() {
+        // Cover over 2 variables that only ever tests variable 0.
+        let mut cover = Cover::new(2);
+        cover.push(Cube::parse("1-").unwrap());
+        let n = Netlist::from_covers(2, &[cover]);
+        let a = analyze_block("C1", &n, 5);
+        let codes: Vec<_> = a.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"net-unused-input"), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn constant_output_is_flagged() {
+        // An empty cover synthesises to a constant-0 output.
+        let n = Netlist::from_covers(1, &[Cover::new(1)]);
+        let a = analyze_block("out", &n, 5);
+        let codes: Vec<_> = a.diagnostics.iter().map(|d| d.code).collect();
+        assert!(
+            codes.contains(&"net-constant-output"),
+            "{:?}",
+            a.diagnostics
+        );
+    }
+
+    #[test]
+    fn hard_net_count_is_capped() {
+        let n = xor_block();
+        let a = analyze_block("C1", &n, 2);
+        assert_eq!(a.hard_nets.len(), 2);
+        let all = analyze_block("C1", &n, usize::MAX);
+        assert_eq!(all.hard_nets.len(), n.fault_sites().len());
+    }
+}

@@ -1,0 +1,281 @@
+//! SCOAP-style static testability metrics.
+//!
+//! The classical SCOAP formulation (Goldstein 1979) assigns every net three
+//! integer difficulty estimates: `CC0`/`CC1`, the cost of driving the net to
+//! 0/1 from the primary inputs, and `CO`, the cost of propagating a value
+//! change on the net to a primary output.  Each gate traversed adds one, so
+//! the numbers loosely count the primary-input assignments needed:
+//!
+//! * primary input: `CC0 = CC1 = 1`;
+//! * `NOT a`: `CC0 = CC1(a) + 1`, `CC1 = CC0(a) + 1`;
+//! * `AND(x₁…xₖ)`: `CC1 = Σ CC1(xᵢ) + 1` (all inputs must be 1),
+//!   `CC0 = min CC0(xᵢ) + 1` (one controlling 0 suffices);
+//! * `OR` is the dual; constants cost 1 for their value and are
+//!   [`UNCONTROLLABLE`] for the opposite;
+//! * `CO(output) = 0`; propagating through an `AND` costs the gate plus
+//!   `CC1` of every *side* input (they must be non-controlling), dually for
+//!   `OR`; a net observable along several paths takes the cheapest.
+//!
+//! Detecting a stuck-at-`v` fault requires driving the net to `¬v` *and*
+//! observing it, so the per-fault difficulty is `CC(¬v) + CO` and the
+//! per-net score is `max(CC0, CC1) + CO` ([`Scoap::difficulty`]).  The
+//! ranking is validated against exact fault simulation in
+//! `tests/scoap_validation.rs`: on a truncated BIST plan the undetected
+//! faults concentrate in the worst decile of this score (DESIGN.md §8).
+//!
+//! All arithmetic saturates at [`UNCONTROLLABLE`] (`u32::MAX`), which also
+//! encodes "impossible" (the unreachable side of a constant).
+
+use stc_logic::{Gate, Netlist, NodeId};
+
+/// The saturation value of every SCOAP sum: an unachievable condition.
+pub const UNCONTROLLABLE: u32 = u32::MAX;
+
+/// Per-net SCOAP metrics of one combinational netlist, indexed by
+/// [`NodeId`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scoap {
+    /// Cost of driving each net to 0.
+    pub cc0: Vec<u32>,
+    /// Cost of driving each net to 1.
+    pub cc1: Vec<u32>,
+    /// Cost of observing each net at a primary output.
+    pub co: Vec<u32>,
+}
+
+impl Scoap {
+    /// Computes the three metrics in two passes: controllabilities forward
+    /// in topological (storage) order, observabilities backward.
+    #[must_use]
+    pub fn compute(netlist: &Netlist) -> Self {
+        let gates = netlist.gates();
+        let n = gates.len();
+        let mut cc0 = vec![UNCONTROLLABLE; n];
+        let mut cc1 = vec![UNCONTROLLABLE; n];
+        for (id, gate) in gates.iter().enumerate() {
+            match gate {
+                Gate::Input(_) => {
+                    cc0[id] = 1;
+                    cc1[id] = 1;
+                }
+                Gate::Const(value) => {
+                    if *value {
+                        cc1[id] = 1;
+                    } else {
+                        cc0[id] = 1;
+                    }
+                }
+                Gate::Not(a) => {
+                    cc0[id] = sat_inc(cc1[*a]);
+                    cc1[id] = sat_inc(cc0[*a]);
+                }
+                Gate::And(xs) => {
+                    cc1[id] = sat_inc(sat_sum(xs.iter().map(|&x| cc1[x])));
+                    cc0[id] = sat_inc(xs.iter().map(|&x| cc0[x]).min().unwrap_or(UNCONTROLLABLE));
+                }
+                Gate::Or(xs) => {
+                    cc0[id] = sat_inc(sat_sum(xs.iter().map(|&x| cc0[x])));
+                    cc1[id] = sat_inc(xs.iter().map(|&x| cc1[x]).min().unwrap_or(UNCONTROLLABLE));
+                }
+            }
+        }
+
+        let mut co = vec![UNCONTROLLABLE; n];
+        for &o in netlist.outputs() {
+            co[o] = 0;
+        }
+        // Storage order is topological, so a reverse sweep sees every net's
+        // final CO before propagating it to the net's fan-ins.
+        for id in (0..n).rev() {
+            if co[id] == UNCONTROLLABLE {
+                continue;
+            }
+            let through = sat_inc(co[id]);
+            match &gates[id] {
+                Gate::Input(_) | Gate::Const(_) => {}
+                Gate::Not(a) => relax(&mut co, *a, through),
+                Gate::And(xs) => {
+                    for (i, &x) in xs.iter().enumerate() {
+                        let sides = sat_sum(
+                            xs.iter()
+                                .enumerate()
+                                .filter(|&(j, _)| j != i)
+                                .map(|(_, &y)| cc1[y]),
+                        );
+                        relax(&mut co, x, sat_add(through, sides));
+                    }
+                }
+                Gate::Or(xs) => {
+                    for (i, &x) in xs.iter().enumerate() {
+                        let sides = sat_sum(
+                            xs.iter()
+                                .enumerate()
+                                .filter(|&(j, _)| j != i)
+                                .map(|(_, &y)| cc0[y]),
+                        );
+                        relax(&mut co, x, sat_add(through, sides));
+                    }
+                }
+            }
+        }
+        Self { cc0, cc1, co }
+    }
+
+    /// The per-net hardness score `max(CC0, CC1) + CO`: the difficulty of
+    /// the *harder* of the net's two stuck-at faults.
+    #[must_use]
+    pub fn difficulty(&self, node: NodeId) -> u32 {
+        sat_add(self.co[node], self.cc0[node].max(self.cc1[node]))
+    }
+
+    /// The difficulty of one specific fault: detecting stuck-at-`stuck_at`
+    /// requires driving the net to the *opposite* value and observing it.
+    #[must_use]
+    pub fn fault_difficulty(&self, node: NodeId, stuck_at: bool) -> u32 {
+        let drive = if stuck_at {
+            self.cc0[node]
+        } else {
+            self.cc1[node]
+        };
+        sat_add(self.co[node], drive)
+    }
+
+    /// The given fault sites ranked hardest-first (score descending, node id
+    /// ascending on ties — fully deterministic).
+    #[must_use]
+    pub fn ranked_sites(&self, sites: &[NodeId]) -> Vec<NodeId> {
+        let mut ranked = sites.to_vec();
+        ranked.sort_by_key(|&node| (std::cmp::Reverse(self.difficulty(node)), node));
+        ranked
+    }
+
+    /// The "SCOAP-worst decile": every site whose score reaches the score of
+    /// the `⌈sites/10⌉`-th hardest site, in ranked order.
+    ///
+    /// The cut is *tie-extended*: SCOAP scores are coarse integers and
+    /// two-level netlists produce many structurally symmetric nets with
+    /// identical scores, so truncating mid-tie would pick an arbitrary
+    /// (id-ordered) subset of equally hard nets.  Every caller that asks
+    /// "is this net among the hardest tenth?" wants the whole tie class.
+    /// This is the set the exact fault simulator validates the ranking
+    /// against (`tests/scoap_validation.rs`, DESIGN.md §8).
+    #[must_use]
+    pub fn worst_decile(&self, sites: &[NodeId]) -> Vec<NodeId> {
+        let ranked = self.ranked_sites(sites);
+        let Some(&kth) = ranked.get(sites.len().div_ceil(10).saturating_sub(1)) else {
+            return ranked;
+        };
+        let cut = self.difficulty(kth);
+        ranked
+            .into_iter()
+            .take_while(|&node| self.difficulty(node) >= cut)
+            .collect()
+    }
+}
+
+fn sat_inc(a: u32) -> u32 {
+    a.saturating_add(1)
+}
+
+fn sat_add(a: u32, b: u32) -> u32 {
+    a.saturating_add(b)
+}
+
+fn sat_sum(values: impl Iterator<Item = u32>) -> u32 {
+    values.fold(0u32, u32::saturating_add)
+}
+
+fn relax(co: &mut [u32], node: NodeId, candidate: u32) {
+    if candidate < co[node] {
+        co[node] = candidate;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stc_logic::{Cover, Cube};
+
+    /// `out = (a AND b) OR (NOT c)` via the two-level cover path.
+    fn example() -> Netlist {
+        let mut cover = Cover::new(3);
+        cover.push(Cube::parse("11-").unwrap());
+        cover.push(Cube::parse("--0").unwrap());
+        Netlist::from_covers(3, &[cover])
+    }
+
+    #[test]
+    fn inputs_are_easiest_and_depth_raises_cost() {
+        let n = example();
+        let s = Scoap::compute(&n);
+        for id in 0..3 {
+            assert_eq!(s.cc0[id], 1);
+            assert_eq!(s.cc1[id], 1);
+        }
+        // The OR output is deeper than any input, so it costs more to
+        // control to 1 than a primary input does.
+        let out = n.outputs()[0];
+        assert!(s.cc1[out] > 1);
+        assert_eq!(s.co[out], 0);
+        // Every connected net is observable and controllable.
+        for &site in &n.fault_sites() {
+            assert!(s.difficulty(site) < UNCONTROLLABLE, "site {site}");
+        }
+    }
+
+    #[test]
+    fn and_controllability_sums_inputs() {
+        // Single cube "11": out = a AND b.
+        let mut cover = Cover::new(2);
+        cover.push(Cube::parse("11").unwrap());
+        let n = Netlist::from_covers(2, &[cover]);
+        let out = n.outputs()[0];
+        let s = Scoap::compute(&n);
+        assert_eq!(s.cc1[out], 3, "1 + CC1(a) + CC1(b)");
+        assert_eq!(s.cc0[out], 2, "1 + min CC0");
+        // Observing input a through the AND needs b at 1.
+        assert_eq!(s.co[0], 2, "CO(out) + 1 + CC1(b)");
+    }
+
+    #[test]
+    fn ranking_is_deterministic_and_decile_is_a_tenth() {
+        let n = example();
+        let s = Scoap::compute(&n);
+        let sites = n.fault_sites();
+        let ranked = s.ranked_sites(&sites);
+        assert_eq!(ranked.len(), sites.len());
+        for pair in ranked.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            assert!(
+                s.difficulty(a) > s.difficulty(b) || (s.difficulty(a) == s.difficulty(b) && a < b)
+            );
+        }
+        let decile = s.worst_decile(&sites);
+        assert!(decile.len() >= sites.len().div_ceil(10));
+        assert_eq!(decile, ranked[..decile.len()].to_vec());
+        // Tie-extension: the cut never splits a class of equal scores.
+        let cut = s.difficulty(*decile.last().unwrap());
+        for &site in &ranked[decile.len()..] {
+            assert!(s.difficulty(site) < cut);
+        }
+    }
+
+    #[test]
+    fn worst_decile_extends_through_ties() {
+        // Ten two-input AND outputs with identical structure: every output
+        // has the same score, so the decile must keep all of them rather
+        // than slice off the first by id.
+        let covers: Vec<Cover> = (0..10)
+            .map(|_| {
+                let mut c = Cover::new(2);
+                c.push(Cube::parse("11").unwrap());
+                c
+            })
+            .collect();
+        let n = Netlist::from_covers(2, &covers);
+        let s = Scoap::compute(&n);
+        let outputs: Vec<usize> = n.outputs().to_vec();
+        let decile = s.worst_decile(&outputs);
+        assert_eq!(decile.len(), outputs.len(), "{decile:?}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Mutation property tests for the FSM lints: injecting a known defect into
+//! an otherwise arbitrary machine must trigger exactly the corresponding
+//! diagnostic code, and the embedded benchmark suite must stay lint-clean at
+//! the default severity gate (no error-level findings).
+
+use proptest::prelude::*;
+use stc_analyze::{lint_kiss2, lint_machine, Severity};
+use stc_fsm::{benchmarks, random_machine, Mealy};
+
+fn codes(diags: &[stc_analyze::Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.code).collect()
+}
+
+fn arb_machine() -> impl Strategy<Value = Mealy> {
+    (2usize..8, 1usize..5, 1usize..4, any::<u64>())
+        .prop_map(|(s, i, o, seed)| random_machine("mutant", s, i, o, seed))
+}
+
+/// Rebuilds `machine` with one extra state that nothing transitions into.
+fn add_unreachable_state(machine: &Mealy) -> Mealy {
+    let n = machine.num_states();
+    let mut b = Mealy::builder(
+        machine.name(),
+        n + 1,
+        machine.num_inputs(),
+        machine.num_outputs(),
+    );
+    for (s, i, next, out) in machine.transitions() {
+        b.transition(s, i, next, out).unwrap();
+    }
+    // The new state only points back into the old machine; no old transition
+    // targets it, so it cannot be reached from the reset state.
+    for i in 0..machine.num_inputs() {
+        b.transition(n, i, machine.reset_state(), 0).unwrap();
+    }
+    b.reset_state(machine.reset_state()).unwrap();
+    b.build().unwrap()
+}
+
+/// Rebuilds `machine` with one extra input symbol whose column is constant:
+/// every state moves to the same (next state, output) under it.
+fn add_constant_input(machine: &Mealy, fixed_next: usize, fixed_out: usize) -> Mealy {
+    let inputs = machine.num_inputs();
+    let mut b = Mealy::builder(
+        machine.name(),
+        machine.num_states(),
+        inputs + 1,
+        machine.num_outputs(),
+    );
+    for (s, i, next, out) in machine.transitions() {
+        b.transition(s, i, next, out).unwrap();
+    }
+    for s in 0..machine.num_states() {
+        b.transition(s, inputs, fixed_next, fixed_out).unwrap();
+    }
+    b.reset_state(machine.reset_state()).unwrap();
+    b.build().unwrap()
+}
+
+/// A small complete KISS2 description over one input bit with parameterised
+/// transition targets, as lines so a test can duplicate one.
+fn kiss2_lines(targets: &[(usize, usize, usize, usize)], states: usize) -> Vec<String> {
+    let mut lines = vec![
+        ".i 1".to_string(),
+        ".o 1".to_string(),
+        format!(".s {states}"),
+        ".r s0".to_string(),
+    ];
+    for &(s, bit, next, out) in targets {
+        lines.push(format!("{bit} s{s} s{next} {out}"));
+    }
+    lines.push(".e".to_string());
+    lines
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn added_unreachable_state_triggers_the_unreachable_lint(machine in arb_machine()) {
+        let mutant = add_unreachable_state(&machine);
+        let diags = lint_machine(&mutant);
+        let name = mutant.state_name(machine.num_states());
+        let hit = diags.iter().any(|d| {
+            d.code == "fsm-unreachable-state" && d.location.contains(name)
+        });
+        prop_assert!(hit, "missing fsm-unreachable-state for {name}: {diags:?}");
+    }
+
+    #[test]
+    fn added_constant_input_column_triggers_the_constant_lint(
+        machine in arb_machine(),
+        next_pick in any::<usize>(),
+        out_pick in any::<usize>(),
+    ) {
+        let fixed_next = next_pick % machine.num_states();
+        let fixed_out = out_pick % machine.num_outputs();
+        let mutant = add_constant_input(&machine, fixed_next, fixed_out);
+        let diags = lint_machine(&mutant);
+        prop_assert!(
+            codes(&diags).contains(&"fsm-constant-input"),
+            "missing fsm-constant-input: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn duplicated_kiss2_transition_line_triggers_the_duplicate_lint(
+        nexts in proptest::collection::vec(0usize..3, 6),
+        outs in proptest::collection::vec(0usize..2, 6),
+        dup_pick in any::<usize>(),
+    ) {
+        // A complete 3-state, 1-bit machine: 6 transition lines.
+        let targets: Vec<(usize, usize, usize, usize)> = (0..6)
+            .map(|k| (k / 2, k % 2, nexts[k], outs[k]))
+            .collect();
+        let mut lines = kiss2_lines(&targets, 3);
+        // Duplicate one transition line right after itself; the text stays
+        // parseable (identical lines never conflict).
+        let dup = 4 + dup_pick % 6;
+        lines.insert(dup + 1, lines[dup].clone());
+        let text = lines.join("\n");
+        let diags = lint_kiss2(&text);
+        let hit = diags.iter().any(|d| {
+            d.code == "kiss2-duplicate-transition"
+                && d.location.contains(&format!("line {}", dup + 2))
+        });
+        prop_assert!(hit, "missing kiss2-duplicate-transition: {diags:?}\n{text}");
+    }
+}
+
+#[test]
+fn embedded_suite_is_lint_clean_at_the_default_severity_gate() {
+    for bench in benchmarks::suite() {
+        let diags = lint_machine(&bench.machine);
+        let errors: Vec<_> = diags
+            .iter()
+            .filter(|d| d.severity >= Severity::Error)
+            .collect();
+        assert!(
+            errors.is_empty(),
+            "{}: error-level lint findings: {errors:?}",
+            bench.name()
+        );
+    }
+}

@@ -67,7 +67,7 @@ impl Misr {
     }
 
     /// Absorbs one clock's worth of response bits.  If the response is wider
-    /// than the register, the extra bits are folded (XORed) onto the existing
+    /// than the register, the extra bits are folded (`XORed`) onto the existing
     /// stages; if narrower, the remaining stages only shift.
     pub fn absorb(&mut self, response: &[bool]) {
         // LFSR step.

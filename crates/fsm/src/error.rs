@@ -48,6 +48,10 @@ pub enum FsmError {
     Kiss2 {
         /// 1-based line number of the offending line (0 if not line-specific).
         line: usize,
+        /// 1-based column of the offending token (0 if not token-specific).
+        column: usize,
+        /// The offending token, if the error points at one (empty otherwise).
+        token: String,
         /// Human-readable description of the problem.
         message: String,
     },
@@ -72,13 +76,16 @@ impl fmt::Display for FsmError {
             ),
             FsmError::DuplicateName { name } => write!(f, "duplicate name `{name}`"),
             FsmError::UnknownName { name } => write!(f, "unknown name `{name}`"),
-            FsmError::Kiss2 { line, message } => {
-                if *line == 0 {
-                    write!(f, "KISS2 parse error: {message}")
-                } else {
-                    write!(f, "KISS2 parse error at line {line}: {message}")
-                }
-            }
+            FsmError::Kiss2 {
+                line,
+                column,
+                message,
+                ..
+            } => match (line, column) {
+                (0, _) => write!(f, "KISS2 parse error: {message}"),
+                (l, 0) => write!(f, "KISS2 parse error at line {l}: {message}"),
+                (l, c) => write!(f, "KISS2 parse error at line {l}, column {c}: {message}"),
+            },
         }
     }
 }

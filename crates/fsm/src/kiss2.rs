@@ -63,6 +63,8 @@ pub fn parse_with_options(text: &str, name: &str, opts: Kiss2Options) -> Result<
     let mut reset_name: Option<String> = None;
     struct RawTransition {
         line: usize,
+        input_col: usize,
+        output_col: usize,
         input_cube: String,
         from: String,
         to: String,
@@ -72,41 +74,46 @@ pub fn parse_with_options(text: &str, name: &str, opts: Kiss2Options) -> Result<
 
     for (lineno, line) in text.lines().enumerate() {
         let line_number = lineno + 1;
-        let line = line.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
+        let toks = tokenize(line);
+        let Some(&(first_col, first)) = toks.first() else {
             continue;
-        }
-        let mut tokens = line.split_whitespace();
-        let first = tokens.next().expect("non-empty line has a token");
+        };
         match first {
-            ".i" => input_bits = Some(parse_number(tokens.next(), line_number, ".i")?),
-            ".o" => output_bits = Some(parse_number(tokens.next(), line_number, ".o")?),
+            ".i" => input_bits = Some(parse_number(toks.get(1), line_number, first_col, ".i")?),
+            ".o" => output_bits = Some(parse_number(toks.get(1), line_number, first_col, ".o")?),
             ".p" => {
                 // Number of product terms; informational only.
-                let _ = parse_number(tokens.next(), line_number, ".p")?;
+                let _ = parse_number(toks.get(1), line_number, first_col, ".p")?;
             }
-            ".s" => declared_states = Some(parse_number(tokens.next(), line_number, ".s")?),
+            ".s" => {
+                declared_states = Some(parse_number(toks.get(1), line_number, first_col, ".s")?);
+            }
             ".r" => {
-                reset_name = Some(
-                    tokens
-                        .next()
-                        .ok_or_else(|| kiss_err(line_number, ".r requires a state name"))?
-                        .to_string(),
-                );
+                let &(col, name) = toks.get(1).ok_or_else(|| {
+                    kiss_err_at(line_number, first_col, ".r", ".r requires a state name")
+                })?;
+                check_state_name(line_number, col, name)?;
+                reset_name = Some(name.to_string());
             }
             ".e" | ".end" => break,
             _ => {
-                let from = tokens
-                    .next()
-                    .ok_or_else(|| kiss_err(line_number, "transition needs 4 fields"))?;
-                let to = tokens
-                    .next()
-                    .ok_or_else(|| kiss_err(line_number, "transition needs 4 fields"))?;
-                let out = tokens
-                    .next()
-                    .ok_or_else(|| kiss_err(line_number, "transition needs 4 fields"))?;
+                if toks.len() < 4 {
+                    return Err(kiss_err_at(
+                        line_number,
+                        first_col,
+                        first,
+                        &format!("transition needs 4 fields, found {}", toks.len()),
+                    ));
+                }
+                let (from_col, from) = toks[1];
+                let (to_col, to) = toks[2];
+                let (out_col, out) = toks[3];
+                check_state_name(line_number, from_col, from)?;
+                check_state_name(line_number, to_col, to)?;
                 raw.push(RawTransition {
                     line: line_number,
+                    input_col: first_col,
+                    output_col: out_col,
                     input_cube: first.to_string(),
                     from: from.to_string(),
                     to: to.to_string(),
@@ -156,11 +163,13 @@ pub fn parse_with_options(text: &str, name: &str, opts: Kiss2Options) -> Result<
     // Intern output vectors (after resolving don't-cares to 0).
     let mut output_values: Vec<String> = Vec::new();
     let mut output_index: BTreeMap<String, usize> = BTreeMap::new();
-    let mut resolved_raw: Vec<(usize, String, usize, usize, usize)> = Vec::new();
+    let mut resolved_raw: Vec<(usize, usize, String, usize, usize, usize)> = Vec::new();
     for t in &raw {
         if t.output_cube.len() != output_bits {
-            return Err(kiss_err(
+            return Err(kiss_err_at(
                 t.line,
+                t.output_col,
+                &t.output_cube,
                 &format!(
                     "output `{}` has {} bits, expected {}",
                     t.output_cube,
@@ -175,7 +184,12 @@ pub fn parse_with_options(text: &str, name: &str, opts: Kiss2Options) -> Result<
             .map(|c| match c {
                 '0' | '1' => Ok(c),
                 '-' | '~' => Ok('0'),
-                other => Err(kiss_err(t.line, &format!("bad output bit `{other}`"))),
+                other => Err(kiss_err_at(
+                    t.line,
+                    t.output_col,
+                    &t.output_cube,
+                    &format!("bad output bit `{other}`"),
+                )),
             })
             .collect::<Result<String, FsmError>>()?;
         let next_id = output_values.len();
@@ -184,8 +198,10 @@ pub fn parse_with_options(text: &str, name: &str, opts: Kiss2Options) -> Result<
             output_values.push(resolved.clone());
         }
         if t.input_cube.len() != input_bits {
-            return Err(kiss_err(
+            return Err(kiss_err_at(
                 t.line,
+                t.input_col,
+                &t.input_cube,
                 &format!(
                     "input cube `{}` has {} bits, expected {}",
                     t.input_cube,
@@ -196,7 +212,7 @@ pub fn parse_with_options(text: &str, name: &str, opts: Kiss2Options) -> Result<
         }
         let from = state_index[&t.from];
         let to = state_index[&t.to];
-        resolved_raw.push((t.line, t.input_cube.clone(), from, to, o));
+        resolved_raw.push((t.line, t.input_col, t.input_cube.clone(), from, to, o));
     }
 
     let num_inputs = 1usize << input_bits;
@@ -217,13 +233,15 @@ pub fn parse_with_options(text: &str, name: &str, opts: Kiss2Options) -> Result<
             .expect("reset state was interned");
     }
 
-    for (line, cube, from, to, out) in &resolved_raw {
-        for input in expand_cube(cube).map_err(|msg| kiss_err(*line, &msg))? {
+    for (line, col, cube, from, to, out) in &resolved_raw {
+        for input in expand_cube(cube).map_err(|msg| kiss_err_at(*line, *col, cube, &msg))? {
             builder
                 .transition(*from, input, *to, *out)
                 .map_err(|e| match e {
-                    FsmError::ConflictingTransition { state, input } => kiss_err(
+                    FsmError::ConflictingTransition { state, input } => kiss_err_at(
                         *line,
+                        *col,
+                        cube,
                         &format!(
                             "overlapping cubes give conflicting transitions for state {state}, input {input}"
                         ),
@@ -339,16 +357,80 @@ fn expand_cube(cube: &str) -> Result<Vec<usize>, String> {
     Ok(values)
 }
 
-fn parse_number(token: Option<&str>, line: usize, directive: &str) -> Result<usize, FsmError> {
-    token
-        .ok_or_else(|| kiss_err(line, &format!("{directive} requires a number")))?
-        .parse()
-        .map_err(|_| kiss_err(line, &format!("{directive} requires a number")))
+/// Tokens of a comment-stripped line, each with its 1-based byte column in
+/// the original line (KISS2 is ASCII, so byte and character columns agree).
+fn tokenize(raw: &str) -> Vec<(usize, &str)> {
+    let content = raw.split('#').next().unwrap_or("");
+    let mut tokens = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, c) in content.char_indices() {
+        if c.is_whitespace() {
+            if let Some(s) = start.take() {
+                tokens.push((s + 1, &content[s..i]));
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        tokens.push((s + 1, &content[s..]));
+    }
+    tokens
+}
+
+/// Rejects state names that look like mangled directives: a `.`-prefixed
+/// token in a state position almost always means a truncated or shuffled
+/// line, and silently interning it as a state hides the real defect.
+fn check_state_name(line: usize, column: usize, name: &str) -> Result<(), FsmError> {
+    if name.starts_with('.') {
+        return Err(kiss_err_at(
+            line,
+            column,
+            name,
+            &format!("bad state name `{name}`: names may not start with `.`"),
+        ));
+    }
+    Ok(())
+}
+
+fn parse_number(
+    token: Option<&(usize, &str)>,
+    line: usize,
+    directive_col: usize,
+    directive: &str,
+) -> Result<usize, FsmError> {
+    let &(col, token) = token.ok_or_else(|| {
+        kiss_err_at(
+            line,
+            directive_col,
+            directive,
+            &format!("{directive} requires a number"),
+        )
+    })?;
+    token.parse().map_err(|_| {
+        kiss_err_at(
+            line,
+            col,
+            token,
+            &format!("{directive} requires a number, got `{token}`"),
+        )
+    })
 }
 
 fn kiss_err(line: usize, message: &str) -> FsmError {
     FsmError::Kiss2 {
         line,
+        column: 0,
+        token: String::new(),
+        message: message.to_string(),
+    }
+}
+
+fn kiss_err_at(line: usize, column: usize, token: &str, message: &str) -> FsmError {
+    FsmError::Kiss2 {
+        line,
+        column,
+        token: token.to_string(),
         message: message.to_string(),
     }
 }
@@ -462,6 +544,86 @@ mod tests {
         assert!(matches!(parse(bad_in, "m"), Err(FsmError::Kiss2 { .. })));
         let bad_out = ".i 1\n.o 2\n.s 1\n0 a a 0\n";
         assert!(matches!(parse(bad_out, "m"), Err(FsmError::Kiss2 { .. })));
+    }
+
+    #[test]
+    fn malformed_header_reports_line_column_and_token() {
+        // `.i x` on line 2: the bad number `x` sits at column 4.
+        match parse("# header\n.i x\n", "m") {
+            Err(FsmError::Kiss2 {
+                line,
+                column,
+                token,
+                message,
+            }) => {
+                assert_eq!(line, 2);
+                assert_eq!(column, 4);
+                assert_eq!(token, "x");
+                assert!(message.contains(".i requires a number"), "{message}");
+            }
+            other => panic!("expected Kiss2, got {other:?}"),
+        }
+        // A bare `.o` points at the directive itself.
+        match parse(".i 1\n  .o\n", "m") {
+            Err(FsmError::Kiss2 {
+                line,
+                column,
+                token,
+                ..
+            }) => {
+                assert_eq!((line, column), (2, 3));
+                assert_eq!(token, ".o");
+            }
+            other => panic!("expected Kiss2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_state_name_reports_offending_token() {
+        let text = ".i 1\n.o 1\n0 a .b 0\n";
+        match parse(text, "m") {
+            Err(FsmError::Kiss2 {
+                line,
+                column,
+                token,
+                message,
+            }) => {
+                assert_eq!((line, column), (3, 5));
+                assert_eq!(token, ".b");
+                assert!(message.contains("bad state name"), "{message}");
+            }
+            other => panic!("expected Kiss2, got {other:?}"),
+        }
+        assert!(matches!(
+            parse(".i 1\n.o 1\n.r .x\n0 a a 0\n", "m"),
+            Err(FsmError::Kiss2 { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_transition_line_reports_field_count() {
+        let text = ".i 1\n.o 1\n0 a a 0\n1 a a\n";
+        match parse(text, "m") {
+            Err(FsmError::Kiss2 {
+                line,
+                column,
+                token,
+                message,
+            }) => {
+                assert_eq!((line, column), (4, 1));
+                assert_eq!(token, "1");
+                assert!(message.contains("needs 4 fields, found 3"), "{message}");
+            }
+            other => panic!("expected Kiss2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_error_display_includes_span() {
+        let err = parse(".i x\n", "m").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("line 1"), "{text}");
+        assert!(text.contains("column 4"), "{text}");
     }
 
     #[test]

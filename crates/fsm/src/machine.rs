@@ -307,10 +307,10 @@ impl MealyBuilder {
         next: usize,
         output: usize,
     ) -> Result<&mut Self, FsmError> {
-        self.check_index("state", state, self.num_states)?;
-        self.check_index("input", input, self.num_inputs)?;
-        self.check_index("state", next, self.num_states)?;
-        self.check_index("output", output, self.num_outputs)?;
+        Self::check_index("state", state, self.num_states)?;
+        Self::check_index("input", input, self.num_inputs)?;
+        Self::check_index("state", next, self.num_states)?;
+        Self::check_index("output", output, self.num_outputs)?;
         let idx = state * self.num_inputs + input;
         match (self.next[idx], self.out[idx]) {
             (None, None) => {
@@ -329,7 +329,7 @@ impl MealyBuilder {
     ///
     /// Returns an error if `state` is out of range.
     pub fn reset_state(&mut self, state: usize) -> Result<&mut Self, FsmError> {
-        self.check_index("state", state, self.num_states)?;
+        Self::check_index("state", state, self.num_states)?;
         self.reset_state = state;
         Ok(self)
     }
@@ -434,7 +434,7 @@ impl MealyBuilder {
         self
     }
 
-    fn check_index(&self, what: &'static str, index: usize, bound: usize) -> Result<(), FsmError> {
+    fn check_index(what: &'static str, index: usize, bound: usize) -> Result<(), FsmError> {
         if index >= bound {
             Err(FsmError::IndexOutOfRange { what, index, bound })
         } else {

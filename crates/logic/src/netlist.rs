@@ -191,6 +191,13 @@ impl Netlist {
     fn node_levels(&self) -> Vec<usize> {
         let mut level = vec![0usize; self.gates.len()];
         for (id, gate) in self.gates.iter().enumerate() {
+            // The storage order is topological by construction (builders only
+            // reference already-pushed nodes); the single forward pass below
+            // is only correct under that invariant.
+            debug_assert!(
+                gate.fanins().iter().all(|&f| f < id),
+                "netlist not topological: node {id} references a fan-in >= its own id"
+            );
             level[id] = match gate {
                 Gate::Input(_) | Gate::Const(_) => 0,
                 _ => 1 + gate.fanins().iter().map(|&f| level[f]).max().unwrap_or(0),

@@ -247,6 +247,25 @@ impl PackedPartition {
             self.labels[x] = scratch.relabel[root as usize];
         }
         self.num_blocks = next_label;
+        // Canonical first-occurrence labelling: scanning left to right, every
+        // label is either one already seen or exactly the next fresh value, so
+        // blocks end up numbered by their smallest element.  Every downstream
+        // comparison (hashing κ in the search, `is_refinement_of`) relies on
+        // this to treat label equality as partition equality.
+        debug_assert!(
+            {
+                let mut fresh = 0u32;
+                self.labels.iter().all(|&l| {
+                    if l == fresh {
+                        fresh += 1;
+                        true
+                    } else {
+                        l < fresh
+                    }
+                }) && fresh == self.num_blocks
+            },
+            "join_assign must leave canonical first-occurrence labels"
+        );
         next_label != old_blocks
     }
 

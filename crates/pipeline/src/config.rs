@@ -75,6 +75,14 @@ pub const CONFIG_KEYS: &[(&str, &str)] = &[
         "coverage.max_patterns",
         "cap on patterns per session for the coverage measurement (0 = plan budget)",
     ),
+    (
+        "analysis.enabled",
+        "true/false — run static FSM/netlist lints and SCOAP testability analysis",
+    ),
+    (
+        "analysis.deny",
+        "comma-separated diagnostic codes promoted to error severity",
+    ),
     ("gate_level.max_states", "max |S| for the gate-level stages"),
     (
         "gate_level.max_inputs",
@@ -90,11 +98,27 @@ pub const CONFIG_KEYS: &[(&str, &str)] = &[
     ),
 ];
 
+/// Settings of the optional static-analysis stage (`stc-analyze`).
+///
+/// Lives on [`StcConfig`] rather than [`PipelineConfig`] because the deny
+/// list is heap-allocated and `PipelineConfig` stays `Copy`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AnalysisSettings {
+    /// Run the FSM lints, netlist structural checks and SCOAP metrics and
+    /// attach an `analysis` section to each machine report.
+    pub enabled: bool,
+    /// Diagnostic codes promoted to error severity (sorted, deduplicated).
+    /// Every entry is validated against the `stc-analyze` code registry.
+    pub deny: Vec<String>,
+}
+
 /// The complete, layered configuration of a [`crate::Synthesis`] session.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct StcConfig {
     /// The composed per-stage configuration (echoed into reports).
     pub pipeline: PipelineConfig,
+    /// The static-analysis stage (disabled by default; additive in reports).
+    pub analysis: AnalysisSettings,
     /// Worker threads for corpus runs and the serve loop.  `0` means *auto*:
     /// resolve via [`std::thread::available_parallelism`] at run time.  The
     /// resolved value is logged but — like `solver.jobs` — deliberately
@@ -116,6 +140,7 @@ impl StcConfig {
     pub fn from_pipeline(pipeline: PipelineConfig, jobs: usize) -> Self {
         Self {
             pipeline,
+            analysis: AnalysisSettings::default(),
             jobs,
             stage_deadline: None,
         }
@@ -194,6 +219,22 @@ impl StcConfig {
             }
             "coverage.enabled" => p.coverage.enabled = parse_bool(key, value)?,
             "coverage.max_patterns" => p.coverage.max_patterns = parse(key, value)?,
+            "analysis.enabled" => self.analysis.enabled = parse_bool(key, value)?,
+            "analysis.deny" => {
+                let mut deny: Vec<String> = Vec::new();
+                for code in value.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+                    if !stc_analyze::is_known_code(code) {
+                        return Err(ConfigError {
+                            key: key.to_string(),
+                            message: format!("unknown diagnostic code '{code}'"),
+                        });
+                    }
+                    deny.push(code.to_string());
+                }
+                deny.sort_unstable();
+                deny.dedup();
+                self.analysis.deny = deny;
+            }
             "gate_level.max_states" => p.gate_level.max_states = parse(key, value)?,
             "gate_level.max_inputs" => p.gate_level.max_inputs = parse(key, value)?,
             "machine_timeout_secs" => p.machine_timeout = optional_secs(parse(key, value)?),
@@ -300,6 +341,7 @@ mod tests {
         for (key, _) in CONFIG_KEYS {
             let value = match *key {
                 "encoding" => "binary",
+                "analysis.deny" => "net-cycle, kiss2-syntax",
                 k if k.contains("pruning")
                     || k.contains("bound")
                     || k.contains("minimize")
@@ -349,5 +391,30 @@ mod tests {
     fn resolve_jobs_auto_detects_on_zero() {
         assert_eq!(resolve_jobs(4), 4);
         assert!(resolve_jobs(0) >= 1);
+    }
+
+    #[test]
+    fn analysis_deny_is_validated_sorted_and_deduplicated() {
+        let mut config = StcConfig::default();
+        config
+            .set(
+                "analysis.deny",
+                "net-dead-gate, fsm-unreachable-state, net-dead-gate",
+            )
+            .unwrap();
+        assert_eq!(
+            config.analysis.deny,
+            vec![
+                "fsm-unreachable-state".to_string(),
+                "net-dead-gate".to_string()
+            ]
+        );
+        let err = config.set("analysis.deny", "no-such-code").unwrap_err();
+        assert!(err.to_string().contains("no-such-code"), "{err}");
+        config.set("analysis.deny", "").unwrap();
+        assert!(config.analysis.deny.is_empty());
+        assert!(!config.analysis.enabled);
+        config.set("analysis.enabled", "true").unwrap();
+        assert!(config.analysis.enabled);
     }
 }

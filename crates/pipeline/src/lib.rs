@@ -54,15 +54,15 @@ mod session;
 pub use bench_compare::{
     compare_benchmarks, load_baseline_dir, parse_baseline, BenchCheck, BenchDelta, BenchMeasurement,
 };
-pub use config::{resolve_jobs, ConfigError, StcConfig, CONFIG_KEYS};
+pub use config::{resolve_jobs, AnalysisSettings, ConfigError, StcConfig, CONFIG_KEYS};
 pub use corpus::{embedded_corpus, filter_by_names, kiss2_corpus, CorpusEntry};
 pub use error::PipelineError;
 pub use json::{Json, JsonError};
 pub use observe::{CancelFlag, Event, NullObserver, Observer};
 pub use report::{
-    coverage_json, format_summary_table, search_stats_json, BistReport, ConfigEcho, LogicReport,
-    MachineReport, MachineStatus, SessionReport, SolveReport, SuiteReport, SuiteSummary,
-    REPORT_SCHEMA_VERSION,
+    coverage_json, format_summary_table, lint_json, search_stats_json, AnalysisReport, BistReport,
+    ConfigEcho, LogicReport, MachineReport, MachineStatus, SessionReport, SolveReport, SuiteReport,
+    SuiteSummary, REPORT_SCHEMA_VERSION,
 };
 #[allow(deprecated)]
 pub use runner::{run_corpus, run_machine};

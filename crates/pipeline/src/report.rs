@@ -8,6 +8,7 @@
 //! are reported separately (see [`crate::SuiteRun`]).
 
 use crate::json::Json;
+use stc_analyze::{BlockAnalysis, Diagnostic, Severity};
 use stc_fsm::benchmarks::{PaperTable1Row, PaperTable2Row};
 
 /// Version of the report schema, bumped on any breaking change to the JSON
@@ -18,7 +19,10 @@ use stc_fsm::benchmarks::{PaperTable1Row, PaperTable2Row};
 /// `bist.measured_coverage` / `bist.undetected_faults` and the
 /// `config.coverage_enabled` / `config.coverage_max_patterns` echo appear
 /// only when the exact coverage stage is enabled — coverage-free reports
-/// keep the original v2 byte layout.
+/// keep the original v2 byte layout.  Likewise additive: the per-machine
+/// `analysis` section and the `config.analysis_enabled` /
+/// `config.analysis_deny` echo appear only when the static-analysis stage
+/// is enabled.
 pub const REPORT_SCHEMA_VERSION: u64 = 2;
 
 /// How far a machine travelled through the pipeline.
@@ -134,6 +138,35 @@ pub struct BistReport {
     pub undetected_faults: Option<usize>,
 }
 
+/// Results of the static-analysis stage for one machine.
+///
+/// Severities are *effective*: codes named by `analysis.deny` have already
+/// been promoted to [`Severity::Error`] when the report is assembled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisReport {
+    /// Machine-level findings (unreachable states, mergeable states, input
+    /// columns).  KISS2 *source*-level findings are a separate surface
+    /// ([`stc_analyze::lint_kiss2`]): corpus entries hold built machines,
+    /// not source text.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per-block structural analysis (empty when the gate-level stages were
+    /// skipped).
+    pub blocks: Vec<BlockAnalysis>,
+}
+
+impl AnalysisReport {
+    /// Counts findings at or above `severity` across the machine and all
+    /// blocks.
+    #[must_use]
+    pub fn count_at_least(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .chain(self.blocks.iter().flat_map(|b| b.diagnostics.iter()))
+            .filter(|d| d.severity >= severity)
+            .count()
+    }
+}
+
 /// The full pipeline report for one machine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MachineReport {
@@ -158,6 +191,10 @@ pub struct MachineReport {
     pub logic: Option<LogicReport>,
     /// BIST results (machines within the gate-level limits only).
     pub bist: Option<BistReport>,
+    /// Static-analysis results.  `None` when the analysis stage is disabled
+    /// — the section is then absent from the JSON, keeping analysis-free
+    /// reports byte-identical.
+    pub analysis: Option<AnalysisReport>,
 }
 
 /// Aggregate counters over a suite run.
@@ -213,6 +250,12 @@ pub struct ConfigEcho {
     pub coverage_enabled: bool,
     /// Pattern cap of the coverage measurement (`0` = the plan budget).
     pub coverage_max_patterns: usize,
+    /// Whether the static-analysis stage ran.  Echoed into the JSON (along
+    /// with `analysis_deny`) only when `true` — same additive contract as
+    /// the coverage echo.
+    pub analysis_enabled: bool,
+    /// Diagnostic codes promoted to error severity.
+    pub analysis_deny: Vec<String>,
 }
 
 /// The complete report of one corpus run.
@@ -307,6 +350,18 @@ fn config_json(c: &ConfigEcho) -> Json {
             Json::from_usize(c.coverage_max_patterns),
         ));
     }
+    if c.analysis_enabled {
+        entries.push(("analysis_enabled".into(), Json::Bool(true)));
+        entries.push((
+            "analysis_deny".into(),
+            Json::Array(
+                c.analysis_deny
+                    .iter()
+                    .map(|code| Json::String(code.clone()))
+                    .collect(),
+            ),
+        ));
+    }
     Json::Object(entries)
 }
 
@@ -337,7 +392,85 @@ fn machine_json(m: &MachineReport) -> Json {
         m.logic.as_ref().map_or(Json::Null, logic_json),
     ));
     entries.push(("bist".into(), m.bist.as_ref().map_or(Json::Null, bist_json)));
+    // The analysis section is additive: absent (not null) when the stage is
+    // off, so analysis-free goldens stay byte-identical.
+    if let Some(analysis) = &m.analysis {
+        entries.push(("analysis".into(), analysis_json(analysis)));
+    }
     Json::Object(entries)
+}
+
+fn diagnostic_json(d: &Diagnostic) -> Json {
+    Json::Object(vec![
+        ("code".into(), Json::String(d.code.to_string())),
+        (
+            "severity".into(),
+            Json::String(d.severity.as_str().to_string()),
+        ),
+        ("location".into(), Json::String(d.location.clone())),
+        ("message".into(), Json::String(d.message.clone())),
+    ])
+}
+
+fn block_analysis_json(b: &BlockAnalysis) -> Json {
+    Json::Object(vec![
+        ("block".into(), Json::String(b.block.clone())),
+        (
+            "diagnostics".into(),
+            Json::Array(b.diagnostics.iter().map(diagnostic_json).collect()),
+        ),
+        (
+            "stats".into(),
+            Json::Object(vec![
+                ("gates".into(), Json::from_usize(b.stats.gates)),
+                ("literals".into(), Json::from_usize(b.stats.literals)),
+                ("depth".into(), Json::from_usize(b.stats.depth)),
+                ("levels".into(), Json::from_usize(b.stats.levels)),
+                ("max_fanout".into(), Json::from_usize(b.stats.max_fanout)),
+                ("dead_gates".into(), Json::from_usize(b.stats.dead_gates)),
+            ]),
+        ),
+        (
+            "hard_nets".into(),
+            Json::Array(
+                b.hard_nets
+                    .iter()
+                    .map(|h| {
+                        Json::Object(vec![
+                            ("node".into(), Json::from_usize(h.node)),
+                            ("cc0".into(), Json::from_u64(u64::from(h.cc0))),
+                            ("cc1".into(), Json::from_u64(u64::from(h.cc1))),
+                            ("co".into(), Json::from_u64(u64::from(h.co))),
+                            ("score".into(), Json::from_u64(u64::from(h.score))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn analysis_json(a: &AnalysisReport) -> Json {
+    Json::Object(vec![
+        (
+            "diagnostics".into(),
+            Json::Array(a.diagnostics.iter().map(diagnostic_json).collect()),
+        ),
+        (
+            "blocks".into(),
+            Json::Array(a.blocks.iter().map(block_analysis_json).collect()),
+        ),
+        (
+            "errors".into(),
+            Json::from_usize(a.count_at_least(Severity::Error)),
+        ),
+        (
+            "warnings".into(),
+            Json::from_usize(
+                a.count_at_least(Severity::Warning) - a.count_at_least(Severity::Error),
+            ),
+        ),
+    ])
 }
 
 fn solve_json(s: &SolveReport) -> Json {
@@ -561,6 +694,69 @@ pub fn coverage_json(report: &SuiteReport) -> Json {
         ),
         ("suite".into(), Json::String(report.suite.clone())),
         ("machines".into(), Json::Array(machines)),
+    ])
+}
+
+/// Extracts the per-machine static-analysis results of a suite report as a
+/// compact, deterministic JSON document — the focused artefact `stc lint`
+/// emits and the CI `lint-gate` diffs against `tests/golden/lint.json`.
+///
+/// Machines without an analysis section (the stage was disabled) are
+/// reported with a `null` entry so a disappearing machine also fails a diff
+/// against this document.
+#[must_use]
+pub fn lint_json(report: &SuiteReport) -> Json {
+    let machines: Vec<Json> = report
+        .machines
+        .iter()
+        .map(|m| {
+            let mut entries = vec![("name".into(), Json::String(m.name.clone()))];
+            match &m.analysis {
+                Some(a) => {
+                    entries.push((
+                        "diagnostics".into(),
+                        Json::Array(a.diagnostics.iter().map(diagnostic_json).collect()),
+                    ));
+                    entries.push((
+                        "blocks".into(),
+                        Json::Array(a.blocks.iter().map(block_analysis_json).collect()),
+                    ));
+                }
+                None => entries.push(("analysis".into(), Json::Null)),
+            }
+            Json::Object(entries)
+        })
+        .collect();
+    let total_at_least = |severity: Severity| {
+        report
+            .machines
+            .iter()
+            .filter_map(|m| m.analysis.as_ref())
+            .map(|a| a.count_at_least(severity))
+            .sum::<usize>()
+    };
+    let errors = total_at_least(Severity::Error);
+    Json::Object(vec![
+        (
+            "schema_version".into(),
+            Json::from_u64(REPORT_SCHEMA_VERSION),
+        ),
+        ("suite".into(), Json::String(report.suite.clone())),
+        ("machines".into(), Json::Array(machines)),
+        (
+            "summary".into(),
+            Json::Object(vec![
+                ("errors".into(), Json::from_usize(errors)),
+                (
+                    "warnings".into(),
+                    Json::from_usize(total_at_least(Severity::Warning) - errors),
+                ),
+                (
+                    "findings".into(),
+                    Json::from_usize(total_at_least(Severity::Info)),
+                ),
+            ]),
+        ),
     ])
 }
 

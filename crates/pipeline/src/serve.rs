@@ -238,10 +238,7 @@ fn handle_request(line: &str, base: &StcConfig, corpus: &[CorpusEntry]) -> Json 
         ("id".into(), id),
         ("ok".into(), Json::Bool(true)),
         ("machine".into(), Json::String(report.name.clone())),
-        (
-            "config".into(),
-            echo_config(&session.config().pipeline).to_json(),
-        ),
+        ("config".into(), echo_config(session.config()).to_json()),
         ("report".into(), report.to_json()),
     ])
 }
@@ -356,6 +353,46 @@ mod tests {
             } else {
                 assert_eq!(bist.get("measured_coverage"), None);
                 assert_eq!(config.get("coverage_enabled"), None);
+            }
+        }
+    }
+
+    #[test]
+    fn per_request_analysis_override_adds_the_lint_section() {
+        let (responses, stats) = serve_lines(
+            "{\"id\": 1, \"machine\": \"tav\", \"overrides\": {\"analysis.enabled\": true, \
+             \"analysis.deny\": \"net-unused-input\"}}\n\
+             {\"id\": 2, \"machine\": \"tav\"}\n",
+            1,
+        );
+        assert_eq!(stats.errors, 0);
+        for r in &responses {
+            let id = r.get("id").unwrap().as_u64().unwrap();
+            let report = r.get("report").unwrap();
+            let config = r.get("config").unwrap();
+            if id == 1 {
+                let analysis = report.get("analysis").expect("analysis section present");
+                let blocks = analysis.get("blocks").unwrap().as_array().unwrap();
+                assert_eq!(blocks.len(), 3, "C1, C2 and the output block");
+                assert_eq!(config.get("analysis_enabled"), Some(&Json::Bool(true)));
+                let deny = config.get("analysis_deny").unwrap().as_array().unwrap();
+                assert_eq!(deny.len(), 1);
+                // tav's unused block inputs are promoted by the deny list.
+                let promoted = blocks.iter().any(|b| {
+                    b.get("diagnostics")
+                        .unwrap()
+                        .as_array()
+                        .unwrap()
+                        .iter()
+                        .any(|d| {
+                            d.get("code").unwrap().as_str() == Some("net-unused-input")
+                                && d.get("severity").unwrap().as_str() == Some("error")
+                        })
+                });
+                assert!(promoted, "{blocks:?}");
+            } else {
+                assert_eq!(report.get("analysis"), None);
+                assert_eq!(config.get("analysis_enabled"), None);
             }
         }
     }

@@ -29,10 +29,10 @@ use crate::config::StcConfig;
 use crate::corpus::CorpusEntry;
 use crate::observe::{Event, NullObserver, Observer};
 use crate::report::{
-    BistReport, LogicReport, MachineReport, MachineStatus, SessionReport, SolveReport, SuiteReport,
-    SuiteSummary,
+    AnalysisReport, BistReport, LogicReport, MachineReport, MachineStatus, SessionReport,
+    SolveReport, SuiteReport, SuiteSummary,
 };
-use crate::runner::{GateLevelLimits, MachineTiming, PipelineConfig, SuiteRun};
+use crate::runner::{GateLevelLimits, MachineTiming, SuiteRun};
 use stc_bist::{measure_plan_coverage, pipeline_self_test, PlanCoverage, SelfTestResult};
 use stc_encoding::{EncodedPipeline, EncodingStrategy};
 use stc_fsm::{ceil_log2, Mealy};
@@ -54,7 +54,14 @@ pub mod stage_names {
     pub const BIST: &str = "bist";
     /// The exact fault-coverage measurement stage (optional).
     pub const COVERAGE: &str = "coverage";
+    /// The static-analysis stage (optional): FSM lints, netlist structure
+    /// checks and SCOAP testability metrics.
+    pub const ANALYZE: &str = "analyze";
 }
+
+/// Hard-to-test nets reported per block by the analysis stage: enough to
+/// point at the problem spots without bloating the report.
+const HARD_NETS_REPORTED: usize = 5;
 
 /// An error surfaced by a typed partial flow.
 ///
@@ -718,6 +725,63 @@ impl Synthesis {
         }
     }
 
+    /// Runs the machine-level static lints (unreachable states, mergeable
+    /// states, input-column findings) with the session's `analysis.deny`
+    /// list applied.
+    ///
+    /// Runs regardless of `analysis.enabled` — the flag only controls
+    /// whether [`Self::run`] attaches an `analysis` section automatically.
+    #[must_use]
+    pub fn lint_machine(&self, machine: &Mealy) -> Vec<stc_analyze::Diagnostic> {
+        self.emit(Event::StageStarted {
+            machine: machine.name(),
+            stage: stage_names::ANALYZE,
+        });
+        let mut diagnostics = stc_analyze::lint_machine(machine);
+        self.promote_denied(&mut diagnostics);
+        self.emit(Event::StageFinished {
+            machine: machine.name(),
+            stage: stage_names::ANALYZE,
+        });
+        diagnostics
+    }
+
+    /// Runs the structural and SCOAP analysis of each combinational block of
+    /// a synthesised [`Netlist`] artifact (`C1`, `C2`, output logic), with
+    /// the session's `analysis.deny` list applied.
+    #[must_use]
+    pub fn analyze_netlist(&self, netlist: &Netlist) -> Vec<stc_analyze::BlockAnalysis> {
+        self.emit(Event::StageStarted {
+            machine: &netlist.name,
+            stage: stage_names::ANALYZE,
+        });
+        let logic = netlist.logic.as_ref();
+        let blocks = [&logic.c1, &logic.c2, &logic.output]
+            .into_iter()
+            .map(|block| {
+                let mut analysis =
+                    stc_analyze::analyze_block(&block.name, &block.netlist, HARD_NETS_REPORTED);
+                self.promote_denied(&mut analysis.diagnostics);
+                analysis
+            })
+            .collect();
+        self.emit(Event::StageFinished {
+            machine: &netlist.name,
+            stage: stage_names::ANALYZE,
+        });
+        blocks
+    }
+
+    /// Promotes diagnostics whose code is on the `analysis.deny` list to
+    /// error severity.
+    fn promote_denied(&self, diagnostics: &mut [stc_analyze::Diagnostic]) {
+        for d in diagnostics {
+            if self.config.analysis.deny.iter().any(|code| code == d.code) {
+                d.severity = stc_analyze::Severity::Error;
+            }
+        }
+    }
+
     // -- full flows --------------------------------------------------------
 
     /// Drives one corpus entry through the full flow and assembles its
@@ -739,6 +803,7 @@ impl Synthesis {
             paper_table2: entry.table2,
             logic: None,
             bist: None,
+            analysis: None,
         };
         let finish = |mut report: MachineReport, status: MachineStatus| {
             report.status = status;
@@ -748,6 +813,16 @@ impl Synthesis {
             });
             report
         };
+
+        // Stage 0 (optional): machine-level static lints.  Purely static, so
+        // it runs before any solver time is spent; the netlist blocks are
+        // analysed after stage 3 produces them.
+        if self.config.analysis.enabled {
+            report.analysis = Some(AnalysisReport {
+                diagnostics: self.lint_machine(machine),
+                blocks: Vec::new(),
+            });
+        }
 
         // Stage 1: OSTR lattice search plus the Theorem 1 realization.
         let (decomposition, solve_deadline_hit) = self.decompose_tracked(machine);
@@ -801,10 +876,14 @@ impl Synthesis {
             return finish(report, MachineStatus::TimedOut);
         }
 
-        // Stage 3: two-level logic synthesis.
+        // Stage 3: two-level logic synthesis, plus the per-block structural
+        // and SCOAP analysis when the analysis stage is on.
         let stage = self.stage_deadline();
         let netlist = self.synthesize_logic(&encoded);
         report.logic = Some(netlist.logic_report());
+        if let Some(analysis) = report.analysis.as_mut() {
+            analysis.blocks = self.analyze_netlist(&netlist);
+        }
         if past(machine_deadline) || past(stage) {
             return finish(report, MachineStatus::TimedOut);
         }
@@ -884,6 +963,7 @@ impl Synthesis {
                         paper_table2: entry.table2,
                         logic: None,
                         bist: None,
+                        analysis: None,
                     },
                     Duration::ZERO,
                 )
@@ -910,7 +990,7 @@ impl Synthesis {
         SuiteRun {
             report: SuiteReport {
                 suite: suite_name.to_string(),
-                config: echo_config(&self.config.pipeline),
+                config: echo_config(&self.config),
                 machines,
                 summary,
             },
@@ -965,19 +1045,22 @@ impl Synthesis {
 /// `jobs` and `solver.parallel_subtrees` are deliberately *not* echoed: both
 /// are byte-invisible in results, and echoing them would make golden reports
 /// machine-dependent.
-pub(crate) fn echo_config(config: &PipelineConfig) -> crate::report::ConfigEcho {
+pub(crate) fn echo_config(config: &StcConfig) -> crate::report::ConfigEcho {
+    let p = &config.pipeline;
     crate::report::ConfigEcho {
-        max_nodes: config.solver.max_nodes,
-        lemma1_pruning: config.solver.lemma1_pruning,
-        stop_at_lower_bound: config.solver.stop_at_lower_bound,
-        branch_and_bound: config.solver.branch_and_bound,
-        encoding: format!("{:?}", config.encoding).to_ascii_lowercase(),
-        minimize: config.synth.minimize,
-        patterns_per_session: config.patterns_per_session,
-        gate_level_max_states: config.gate_level.max_states,
-        gate_level_max_inputs: config.gate_level.max_inputs,
-        coverage_enabled: config.coverage.enabled,
-        coverage_max_patterns: config.coverage.max_patterns,
+        max_nodes: p.solver.max_nodes,
+        lemma1_pruning: p.solver.lemma1_pruning,
+        stop_at_lower_bound: p.solver.stop_at_lower_bound,
+        branch_and_bound: p.solver.branch_and_bound,
+        encoding: format!("{:?}", p.encoding).to_ascii_lowercase(),
+        minimize: p.synth.minimize,
+        patterns_per_session: p.patterns_per_session,
+        gate_level_max_states: p.gate_level.max_states,
+        gate_level_max_inputs: p.gate_level.max_inputs,
+        coverage_enabled: p.coverage.enabled,
+        coverage_max_patterns: p.coverage.max_patterns,
+        analysis_enabled: config.analysis.enabled,
+        analysis_deny: config.analysis.deny.clone(),
     }
 }
 
@@ -1096,6 +1179,62 @@ mod tests {
         let off_bist = off.report.machines[0].bist.as_ref().unwrap();
         assert_eq!(on_bist.session1, off_bist.session1);
         assert_eq!(on_bist.overall_coverage, off_bist.overall_coverage);
+    }
+
+    #[test]
+    fn analysis_fields_appear_in_reports_only_when_enabled() {
+        let corpus = filter_by_names(embedded_corpus(), &["tav".to_string()]).unwrap();
+        let off = small_session().run_suite(&corpus, "test");
+        let off_json = off.report.to_json_string();
+        assert!(!off_json.contains("\"analysis\""));
+        assert!(!off_json.contains("analysis_enabled"));
+
+        let on = Synthesis::builder()
+            .max_nodes(10_000)
+            .set("solver.stop_at_lower_bound", "true")
+            .unwrap()
+            .patterns_per_session(32)
+            .set("analysis.enabled", "true")
+            .unwrap()
+            .jobs(1)
+            .build()
+            .run_suite(&corpus, "test");
+        let on_json = on.report.to_json_string();
+        assert!(on_json.contains("\"analysis\""));
+        assert!(on_json.contains("\"analysis_enabled\": true"));
+        assert!(on_json.contains("\"hard_nets\""));
+        let analysis = on.report.machines[0].analysis.as_ref().unwrap();
+        assert_eq!(analysis.blocks.len(), 3, "C1, C2 and the output logic");
+        assert!(analysis
+            .blocks
+            .iter()
+            .all(|b| b.hard_nets.len() <= HARD_NETS_REPORTED));
+        // The analysis stage is additive: every pre-existing section is
+        // unchanged.
+        assert_eq!(on.report.machines[0].solve, off.report.machines[0].solve);
+        assert_eq!(on.report.machines[0].logic, off.report.machines[0].logic);
+        assert_eq!(on.report.machines[0].bist, off.report.machines[0].bist);
+    }
+
+    #[test]
+    fn deny_list_promotes_codes_to_error_severity() {
+        let machine = paper_example();
+        let lenient = small_session();
+        let strict = Synthesis::builder()
+            .max_nodes(10_000)
+            .set("analysis.deny", "fsm-unreachable-state")
+            .unwrap()
+            .build();
+        let base = lenient.lint_machine(&machine);
+        let promoted = strict.lint_machine(&machine);
+        let find = |diags: &[stc_analyze::Diagnostic]| {
+            diags
+                .iter()
+                .find(|d| d.code == "fsm-unreachable-state")
+                .map(|d| d.severity)
+        };
+        assert_eq!(find(&base), Some(stc_analyze::Severity::Warning));
+        assert_eq!(find(&promoted), Some(stc_analyze::Severity::Error));
     }
 
     #[test]

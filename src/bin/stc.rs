@@ -8,6 +8,10 @@
 //!   and emit a deterministic JSON report.
 //! * `stc coverage` — the same flow with the coverage stage forced on,
 //!   emitting the focused per-machine measured-coverage JSON.
+//! * `stc lint` — the flow with the static-analysis stage forced on,
+//!   emitting the focused per-machine lint/testability JSON (FSM lints,
+//!   netlist structure checks, SCOAP hard-to-test nets); non-zero exit when
+//!   any finding reaches error severity (`--deny` promotes codes).
 //! * `stc serve` — serve one-machine synthesis requests over
 //!   stdin/stdout (one JSON request per line, one JSON response per line).
 //! * `stc bench-check` — run the bench harness and compare against the
@@ -20,10 +24,13 @@
 //! session's `StcConfig` layers.  See the README for the JSON report schema
 //! and the re-baselining workflow.
 
+#![forbid(unsafe_code)]
+
+use stc::analyze::Severity;
 use stc::pipeline::{
     compare_benchmarks, coverage_json, embedded_corpus, filter_by_names, format_summary_table,
-    kiss2_corpus, load_baseline_dir, search_stats_json, serve, BenchMeasurement, CorpusEntry,
-    Event, Observer, PipelineError, StcConfig, SuiteRun, Synthesis,
+    kiss2_corpus, lint_json, load_baseline_dir, search_stats_json, serve, BenchMeasurement,
+    CorpusEntry, Event, Observer, PipelineError, StcConfig, SuiteRun, Synthesis,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -37,13 +44,16 @@ USAGE:
     stc run [OPTIONS]            run the batch pipeline and print a JSON report
     stc coverage [OPTIONS]       run the pipeline with the exact fault-coverage
                                  stage and print the per-machine coverage JSON
+    stc lint [OPTIONS]           run the pipeline with the static-analysis stage
+                                 and print the per-machine lint/testability JSON;
+                                 exit 1 if any finding reaches error severity
     stc serve [OPTIONS]          serve synthesis requests over stdin/stdout
                                  (JSON lines; see README 'The serve protocol')
     stc list [OPTIONS]           list the machines of the selected corpus
     stc bench-check [OPTIONS]    compare bench results against committed baselines
     stc help                     print this message
 
-CORPUS OPTIONS (run, list):
+CORPUS OPTIONS (run, coverage, lint, list):
     --suite embedded             the embedded 13-machine benchmark suite (default)
     --kiss2 <DIR>                load every *.kiss2 / *.kiss file of a directory
     --machine <NAME>             restrict to the named machine (repeatable)
@@ -78,6 +88,9 @@ RUN OPTIONS:
                                  simulation of the plan's own stimuli); adds
                                  bist.measured_coverage / bist.undetected_faults
                                  to the report
+    --lint                       run the static-analysis stage (FSM lints,
+                                 netlist structure checks, SCOAP metrics); adds
+                                 an analysis section to each machine report
     --progress                   live per-stage / solver-progress events on stderr
     --out <FILE>                 write the JSON report to FILE instead of stdout
     --stats-out <FILE>           also write the per-machine search-effort stats
@@ -87,6 +100,11 @@ COVERAGE OPTIONS (corpus + config options also apply):
     --out <FILE>                 write the coverage JSON to FILE instead of stdout
     --max-patterns <N>           cap patterns per session in the measurement
                                  (0 = the plan's full budget, the default)
+
+LINT OPTIONS (corpus + config options also apply):
+    --out <FILE>                 write the lint JSON to FILE instead of stdout
+    --deny <CODE[,CODE…]>        promote diagnostic codes to error severity
+                                 (repeatable; same as --set analysis.deny=…)
 
 BENCH-CHECK OPTIONS:
     --baseline-dir <DIR>         committed baselines (default: crates/bench)
@@ -123,6 +141,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "run" => cmd_run(rest),
         "coverage" => cmd_coverage(rest),
+        "lint" => cmd_lint(rest),
         "serve" => cmd_serve(rest),
         "list" => cmd_list(rest),
         "bench-check" => cmd_bench_check(rest),
@@ -345,6 +364,9 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             "--coverage" => config_args
                 .overrides
                 .push(("coverage.enabled".into(), "true".into())),
+            "--lint" => config_args
+                .overrides
+                .push(("analysis.enabled".into(), "true".into())),
             "--progress" => progress = true,
             "--out" => out = Some(PathBuf::from(take_value(flag, &mut iter)?)),
             "--stats-out" => stats_out = Some(PathBuf::from(take_value(flag, &mut iter)?)),
@@ -449,6 +471,82 @@ fn cmd_coverage(args: &[String]) -> Result<ExitCode, String> {
         None => print!("{json}"),
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// `stc lint`: the pipeline with the static-analysis stage forced on,
+/// emitting the focused per-machine lint/testability JSON (the full report —
+/// with the same analysis sections inline — comes from `stc run --lint`).
+/// Exits non-zero when any finding reaches error severity, so CI can gate on
+/// it directly; `--deny` promotes codes for stricter gates.
+fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
+    let mut corpus_args = CorpusArgs::new();
+    let mut config_args = ConfigArgs::new();
+    let mut out: Option<PathBuf> = None;
+    let mut deny: Vec<String> = Vec::new();
+
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        if parse_corpus_flag(flag, &mut iter, &mut corpus_args)?
+            || config_args.parse_flag(flag, &mut iter)?
+        {
+            continue;
+        }
+        match flag.as_str() {
+            "--out" => out = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--deny" => deny.push(take_value(flag, &mut iter)?.clone()),
+            other => return Err(format!("unknown flag '{other}' for 'stc lint'")),
+        }
+    }
+    let mut config = config_args.build()?;
+    config
+        .set("analysis.enabled", "true")
+        .map_err(|e| e.to_string())?;
+    if !deny.is_empty() {
+        config
+            .set("analysis.deny", &deny.join(","))
+            .map_err(|e| e.to_string())?;
+    }
+    let jobs = config.resolve_jobs();
+
+    let (label, corpus) = corpus_args.load()?;
+    if corpus.is_empty() {
+        return Err(PipelineError::EmptyCorpus(label).to_string());
+    }
+    eprintln!(
+        "stc lint: {} machines from '{label}', {jobs} worker(s){}",
+        corpus.len(),
+        if config.jobs == 0 { " [auto]" } else { "" }
+    );
+
+    let session = Synthesis::builder().config(config).build();
+    let SuiteRun { report, .. } = session.run_suite(&corpus, &label);
+
+    let errors: usize = report
+        .machines
+        .iter()
+        .filter_map(|m| m.analysis.as_ref())
+        .map(|a| a.count_at_least(Severity::Error))
+        .sum();
+    let warnings: usize = report
+        .machines
+        .iter()
+        .filter_map(|m| m.analysis.as_ref())
+        .map(|a| a.count_at_least(Severity::Warning))
+        .sum::<usize>()
+        - errors;
+    eprintln!("stc lint: {errors} error(s), {warnings} warning(s)");
+
+    let json = lint_json(&report).to_pretty();
+    match out {
+        Some(path) => std::fs::write(&path, &json)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?,
+        None => print!("{json}"),
+    }
+    Ok(if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {

@@ -84,6 +84,10 @@ pub use stc_logic as logic;
 /// (re-export of [`stc_bist`]).
 pub use stc_bist as bist;
 
+/// Static testability and structural analysis: FSM/netlist lints and SCOAP
+/// metrics (re-export of [`stc_analyze`]).
+pub use stc_analyze as analyze;
+
 /// The corpus-level batch-synthesis pipeline, parallel runner and reports
 /// (re-export of [`stc_pipeline`]).
 pub use stc_pipeline as pipeline;
@@ -99,6 +103,7 @@ pub use stc_pipeline::{
 
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
+    pub use stc_analyze::{analyze_block, lint_kiss2, lint_machine, Diagnostic, Scoap, Severity};
     #[allow(deprecated)]
     pub use stc_bist::BistStage;
     pub use stc_bist::{

@@ -1,0 +1,51 @@
+//! The lint regression gate, enforced from the test suite.
+//!
+//! CI diffs `stc lint --suite embedded` against `tests/golden/lint.json`;
+//! this test enforces the same golden from `cargo test`, so any change to
+//! the lints, the SCOAP metrics, the synthesised netlists, or the report
+//! encoding that moves a diagnostic or a hard-net ranking fails fast
+//! locally.  Re-golden after an intentional change:
+//!
+//! ```text
+//! cargo run --release --bin stc -- lint --suite embedded \
+//!     --out tests/golden/lint.json
+//! ```
+//!
+//! and review the diff like any other code change — a new error-level
+//! finding on an embedded machine means the suite is no longer lint-clean
+//! and `stc lint` (and CI) will start failing.
+
+use stc::analyze::Severity;
+use stc::pipeline::{embedded_corpus, lint_json, StcConfig, Synthesis};
+
+#[test]
+fn embedded_lint_report_matches_the_committed_golden() {
+    let mut config = StcConfig::default();
+    config.set("analysis.enabled", "true").unwrap();
+    let run = Synthesis::builder()
+        .config(config)
+        .build()
+        .run_suite(&embedded_corpus(), "embedded");
+
+    let fresh = lint_json(&run.report).to_pretty();
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/lint.json");
+    let golden = std::fs::read_to_string(golden_path).expect("tests/golden/lint.json is committed");
+    assert_eq!(
+        fresh, golden,
+        "the lint report diverged from tests/golden/lint.json; if the change \
+         is intentional, re-golden (see this file's module docs) and review \
+         the findings diff"
+    );
+
+    // The embedded suite must stay lint-clean at the default severity gate:
+    // informational findings are expected (benchmark KISS2 expansions leave
+    // constant and duplicate input columns), errors are not.
+    let errors: usize = run
+        .report
+        .machines
+        .iter()
+        .filter_map(|m| m.analysis.as_ref())
+        .map(|a| a.count_at_least(Severity::Error))
+        .sum();
+    assert_eq!(errors, 0, "embedded suite has error-level lint findings");
+}
