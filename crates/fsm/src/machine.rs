@@ -194,6 +194,71 @@ impl Mealy {
         ceil_log2(self.num_outputs)
     }
 
+    /// A stable 64-bit content hash of the machine.
+    ///
+    /// Covers everything that defines the machine — name, alphabet sizes,
+    /// reset state, the full `δ`/`λ` tables and the symbolic state, input and
+    /// output names — via FNV-1a, a fixed published algorithm.  Unlike
+    /// [`std::hash::Hash`] with the standard library's default hasher, the
+    /// value does not depend on the platform, the process (no random seed) or
+    /// the compiler version, so it is safe to use as a persistent cache key
+    /// or to compare across machines and releases.  Two machines hash equal
+    /// iff they are equal (modulo the astronomically unlikely 64-bit
+    /// collision); content-addressed consumers that cannot afford even that
+    /// should verify a cheap field such as the name on lookup.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use stc_fsm::paper_example;
+    ///
+    /// let m = paper_example();
+    /// assert_eq!(m.stable_hash(), m.clone().stable_hash());
+    /// assert_ne!(m.stable_hash(), m.with_name("renamed").stable_hash());
+    /// ```
+    #[must_use]
+    pub fn stable_hash(&self) -> u64 {
+        // FNV-1a, 64-bit.  Each field is prefixed with its length (for
+        // strings/tables) so concatenation ambiguities cannot collide
+        // ("ab"+"c" vs "a"+"bc").
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn eat(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(PRIME);
+            }
+        }
+        fn eat_u64(h: &mut u64, v: u64) {
+            eat(h, &v.to_le_bytes());
+        }
+        fn eat_str(h: &mut u64, s: &str) {
+            eat_u64(h, s.len() as u64);
+            eat(h, s.as_bytes());
+        }
+        let mut h = OFFSET;
+        eat_str(&mut h, &self.name);
+        eat_u64(&mut h, self.num_states as u64);
+        eat_u64(&mut h, self.num_inputs as u64);
+        eat_u64(&mut h, self.num_outputs as u64);
+        eat_u64(&mut h, self.reset_state as u64);
+        for &n in &self.next {
+            eat_u64(&mut h, n as u64);
+        }
+        for &o in &self.out {
+            eat_u64(&mut h, o as u64);
+        }
+        for name in self
+            .state_names
+            .iter()
+            .chain(&self.input_names)
+            .chain(&self.output_names)
+        {
+            eat_str(&mut h, name);
+        }
+        h
+    }
+
     /// Returns a copy of the machine with a different name.
     #[must_use]
     pub fn with_name(mut self, name: impl Into<String>) -> Self {
@@ -526,6 +591,32 @@ mod tests {
         assert_eq!(m.next_state(0, 0), 1);
         assert_eq!(m.output(0, 1), 1);
         assert_eq!(m.transitions().count(), 4);
+    }
+
+    #[test]
+    fn stable_hash_is_content_addressed_and_pinned() {
+        let m = paper_example();
+        // Equal content hashes equal, independent of allocation identity.
+        assert_eq!(m.stable_hash(), m.clone().stable_hash());
+        // Any field change moves the hash: name, reset state, one output.
+        assert_ne!(m.stable_hash(), m.clone().with_name("x").stable_hash());
+        assert_ne!(
+            m.stable_hash(),
+            m.clone().with_reset_state(1).unwrap().stable_hash()
+        );
+        let mut b = Mealy::builder("paper_example", 4, 2, 2);
+        for (s, i, n, o) in m.transitions() {
+            b.transition(s, i, n, if (s, i) == (3, 1) { 1 - o } else { o })
+                .unwrap();
+        }
+        b.state_names(["1", "2", "3", "4"]).unwrap();
+        b.input_names(["1", "0"]).unwrap();
+        b.output_names(["0", "1"]).unwrap();
+        assert_ne!(m.stable_hash(), b.build().unwrap().stable_hash());
+        // Pinned value: this hash is a persistent cache key, so it must not
+        // drift across releases, platforms or compiler versions.  If this
+        // assertion fails the hash function changed — bump persisted caches.
+        assert_eq!(m.stable_hash(), 0xc544_b37e_565c_d89b);
     }
 
     #[test]

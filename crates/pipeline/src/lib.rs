@@ -13,7 +13,14 @@
 //!   → [`Netlist`] → [`BistPlan`] → [`MachineReport`]), progress events and
 //!   cooperative cancellation ([`Observer`]);
 //! * [`embedded_corpus`] / [`kiss2_corpus`] — corpus loading;
-//! * [`serve`] — the JSON-lines request loop behind `stc serve`;
+//! * [`serve`] / [`serve_with`] — the JSON-lines request loop behind
+//!   `stc serve`;
+//! * [`NetServer`] — the TCP front end speaking the same protocol
+//!   (`stc serve --listen`), with connection limits and graceful shutdown;
+//! * [`ArtifactCache`] — the content-addressed response cache keyed by
+//!   `(machine hash, config fingerprint)`;
+//! * [`ServeMetrics`] — service counters behind the `stats` request and the
+//!   periodic log line;
 //! * [`SuiteReport`] — the deterministic report and its JSON serialisation;
 //! * [`compare_benchmarks`] — the perf-baseline comparison behind the
 //!   `stc bench-check` CI gate;
@@ -41,10 +48,13 @@
 #![warn(missing_docs)]
 
 mod bench_compare;
+pub mod cache;
 mod config;
 mod corpus;
 mod error;
 mod json;
+mod metrics;
+mod net;
 mod observe;
 mod report;
 mod runner;
@@ -54,10 +64,13 @@ mod session;
 pub use bench_compare::{
     compare_benchmarks, load_baseline_dir, parse_baseline, BenchCheck, BenchDelta, BenchMeasurement,
 };
+pub use cache::{ArtifactCache, CacheCounters, CacheLimits};
 pub use config::{resolve_jobs, AnalysisSettings, ConfigError, StcConfig, CONFIG_KEYS};
 pub use corpus::{embedded_corpus, filter_by_names, kiss2_corpus, CorpusEntry};
 pub use error::PipelineError;
 pub use json::{Json, JsonError};
+pub use metrics::{ServeMetrics, StageTimer};
+pub use net::{NetOptions, NetServer, ServerHandle};
 pub use observe::{CancelFlag, Event, NullObserver, Observer};
 pub use report::{
     coverage_json, format_summary_table, lint_json, search_stats_json, AnalysisReport, BistReport,
@@ -67,7 +80,7 @@ pub use report::{
 #[allow(deprecated)]
 pub use runner::{run_corpus, run_machine};
 pub use runner::{CoverageConfig, GateLevelLimits, MachineTiming, PipelineConfig, SuiteRun};
-pub use serve::{serve, ServeStats};
+pub use serve::{serve, serve_with, ServeOptions, ServeStats};
 pub use session::{
     stage_names, BistPlan, CoverageReport, Decomposition, Encoded, Netlist, SessionError,
     Synthesis, SynthesisBuilder,

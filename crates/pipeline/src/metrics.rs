@@ -1,0 +1,446 @@
+//! Service-level observability for `stc serve`.
+//!
+//! One [`ServeMetrics`] instance lives for the whole life of a serve loop
+//! (stdin/stdout or network) and aggregates lock-free counters: request
+//! outcomes, queue depth, connection accounting, per-stage latency (fed by a
+//! [`StageTimer`] observer listening on the session's [`crate::Event`]
+//! channel) and end-to-end request latency.  A snapshot is exposed two ways:
+//!
+//! * the `{"stats": true}` request of the serve protocol, answered with
+//!   [`ServeMetrics::snapshot`] (a JSON object; see `docs/SERVE.md`);
+//! * a periodic one-line summary ([`ServeMetrics::log_line`]) the network
+//!   server prints to stderr when `--stats-interval-secs` is set.
+//!
+//! Stats are observability, not artifacts: unlike machine reports they
+//! contain wall-clock durations and are exempt from the byte-determinism
+//! contract.
+
+use crate::cache::ArtifactCache;
+use crate::json::Json;
+use crate::observe::{Event, Observer};
+use crate::session::stage_names;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The stage names aggregated by [`ServeMetrics`], in flow order.
+const STAGES: [&str; 6] = [
+    stage_names::SOLVE,
+    stage_names::ENCODE,
+    stage_names::LOGIC,
+    stage_names::BIST,
+    stage_names::COVERAGE,
+    stage_names::ANALYZE,
+];
+
+#[derive(Debug, Default)]
+struct StageCounter {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+}
+
+/// Lock-free service counters for one serve loop.
+///
+/// All counters are monotonic except the two gauges (`queue_depth`,
+/// `connections_active`).  Relaxed ordering everywhere: the values are
+/// statistics, not synchronisation.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    requests: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    pings: AtomicU64,
+    stats_requests: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_peak: AtomicU64,
+    connections_active: AtomicU64,
+    connections_total: AtomicU64,
+    connections_rejected: AtomicU64,
+    request_count: AtomicU64,
+    request_total_ns: AtomicU64,
+    stages: [StageCounter; 6],
+}
+
+impl ServeMetrics {
+    /// Creates zeroed metrics behind an [`Arc`], ready to be shared between
+    /// the serve loop, its workers and a stats thread.
+    #[must_use]
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Records a request read from the wire (well-formed or not).
+    pub fn request_read(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request outcome: `ok` responses, error responses, and the
+    /// two introspection kinds.
+    pub fn response(&self, ok: bool) {
+        if ok {
+            self.ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a pong.
+    pub fn ping(&self) {
+        self.pings.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a `stats` request.
+    pub fn stats_request(&self) {
+        self.stats_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request entering the work queue.
+    pub fn enqueued(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records a request leaving the work queue (picked up by a worker).
+    pub fn dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records an accepted connection; pair with [`Self::connection_closed`].
+    pub fn connection_opened(&self) {
+        self.connections_active.fetch_add(1, Ordering::Relaxed);
+        self.connections_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection ending.
+    pub fn connection_closed(&self) {
+        self.connections_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection turned away at the connection limit.
+    pub fn connection_rejected(&self) {
+        self.connections_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of connections currently open.
+    #[must_use]
+    pub fn active_connections(&self) -> u64 {
+        self.connections_active.load(Ordering::Relaxed)
+    }
+
+    /// Records one end-to-end request service time (parse to rendered
+    /// response, cold or cached).
+    pub fn request_served_in(&self, elapsed_ns: u64) {
+        self.request_count.fetch_add(1, Ordering::Relaxed);
+        self.request_total_ns
+            .fetch_add(elapsed_ns, Ordering::Relaxed);
+    }
+
+    /// Records one completed pipeline stage.
+    pub fn stage_finished(&self, stage: &str, elapsed_ns: u64) {
+        if let Some(i) = STAGES.iter().position(|s| *s == stage) {
+            self.stages[i].count.fetch_add(1, Ordering::Relaxed);
+            self.stages[i]
+                .total_ns
+                .fetch_add(elapsed_ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Total requests read so far.
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Total error responses so far.
+    #[must_use]
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// The stats snapshot answered to a `{"stats": true}` request.
+    ///
+    /// Counters are read individually (relaxed), so a snapshot taken while
+    /// requests are in flight is approximate — internally consistent enough
+    /// for observability, not a transaction.
+    #[must_use]
+    pub fn snapshot(&self, cache: Option<&ArtifactCache>) -> Json {
+        let load = |a: &AtomicU64| Json::from_u64(a.load(Ordering::Relaxed));
+        let requests_section = Json::Object(vec![
+            ("read".into(), load(&self.requests)),
+            ("ok".into(), load(&self.ok)),
+            ("errors".into(), load(&self.errors)),
+            ("pings".into(), load(&self.pings)),
+            ("stats".into(), load(&self.stats_requests)),
+            (
+                "mean_service_ms".into(),
+                Json::Number(mean_ms(
+                    self.request_total_ns.load(Ordering::Relaxed),
+                    self.request_count.load(Ordering::Relaxed),
+                )),
+            ),
+        ]);
+        let queue_section = Json::Object(vec![
+            ("depth".into(), load(&self.queue_depth)),
+            ("peak".into(), load(&self.queue_peak)),
+        ]);
+        let connections_section = Json::Object(vec![
+            ("active".into(), load(&self.connections_active)),
+            ("total".into(), load(&self.connections_total)),
+            ("rejected".into(), load(&self.connections_rejected)),
+        ]);
+        let cache_section = match cache {
+            None => Json::Object(vec![("enabled".into(), Json::Bool(false))]),
+            Some(cache) => {
+                let counters = cache.counters();
+                Json::Object(vec![
+                    ("enabled".into(), Json::Bool(true)),
+                    ("entries".into(), Json::from_usize(cache.len())),
+                    ("bytes".into(), Json::from_u64(cache.payload_bytes())),
+                    ("hits".into(), Json::from_u64(counters.hits)),
+                    ("misses".into(), Json::from_u64(counters.misses)),
+                    ("insertions".into(), Json::from_u64(counters.insertions)),
+                    ("evictions".into(), Json::from_u64(counters.evictions)),
+                ])
+            }
+        };
+        let stages_section = Json::Object(
+            STAGES
+                .iter()
+                .zip(&self.stages)
+                .map(|(name, counter)| {
+                    let count = counter.count.load(Ordering::Relaxed);
+                    let total_ns = counter.total_ns.load(Ordering::Relaxed);
+                    (
+                        (*name).to_string(),
+                        Json::Object(vec![
+                            ("count".into(), Json::from_u64(count)),
+                            ("mean_ms".into(), Json::Number(mean_ms(total_ns, count))),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Json::Object(vec![
+            ("requests".into(), requests_section),
+            ("queue".into(), queue_section),
+            ("connections".into(), connections_section),
+            ("cache".into(), cache_section),
+            ("stages".into(), stages_section),
+        ])
+    }
+
+    /// A one-line human-readable summary for the periodic service log.
+    #[must_use]
+    pub fn log_line(&self, cache: Option<&ArtifactCache>) -> String {
+        let cache_part = match cache {
+            None => "cache=off".to_string(),
+            Some(cache) => {
+                let c = cache.counters();
+                format!(
+                    "cache={}e/{}B hits={} misses={} evictions={}",
+                    cache.len(),
+                    cache.payload_bytes(),
+                    c.hits,
+                    c.misses,
+                    c.evictions
+                )
+            }
+        };
+        format!(
+            "requests={} ok={} errors={} queue={} (peak {}) connections={}/{} rejected={} \
+             mean_service_ms={:.2} {}",
+            self.requests.load(Ordering::Relaxed),
+            self.ok.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+            self.queue_depth.load(Ordering::Relaxed),
+            self.queue_peak.load(Ordering::Relaxed),
+            self.connections_active.load(Ordering::Relaxed),
+            self.connections_total.load(Ordering::Relaxed),
+            self.connections_rejected.load(Ordering::Relaxed),
+            mean_ms(
+                self.request_total_ns.load(Ordering::Relaxed),
+                self.request_count.load(Ordering::Relaxed),
+            ),
+            cache_part
+        )
+    }
+}
+
+fn mean_ms(total_ns: u64, count: u64) -> f64 {
+    if count == 0 {
+        0.0
+    } else {
+        // Precision loss is fine for a statistics display.
+        #[allow(clippy::cast_precision_loss)]
+        {
+            total_ns as f64 / count as f64 / 1e6
+        }
+    }
+}
+
+/// An [`Observer`] that times pipeline stages into a shared
+/// [`ServeMetrics`].
+///
+/// One timer is attached per request (each serve request builds its own
+/// session), so starts and finishes pair up within a single machine flow.
+/// It never cancels and feeds only the metrics side channel, so under the
+/// observer contract it leaves reports byte-identical.
+#[derive(Debug)]
+pub struct StageTimer {
+    metrics: Arc<ServeMetrics>,
+    started: Mutex<Vec<(&'static str, Instant)>>,
+}
+
+impl StageTimer {
+    /// Creates a timer feeding `metrics`.
+    #[must_use]
+    pub fn new(metrics: Arc<ServeMetrics>) -> Self {
+        Self {
+            metrics,
+            started: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl Observer for StageTimer {
+    fn on_event(&self, event: &Event<'_>) {
+        match event {
+            Event::StageStarted { stage, .. } => {
+                self.started
+                    .lock()
+                    .expect("no panics while holding lock")
+                    .push((stage, Instant::now()));
+            }
+            Event::StageFinished { stage, .. } => {
+                let started = {
+                    let mut started = self.started.lock().expect("no panics while holding lock");
+                    started
+                        .iter()
+                        .rposition(|(s, _)| s == stage)
+                        .map(|i| started.remove(i).1)
+                };
+                if let Some(at) = started {
+                    let elapsed = u64::try_from(at.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    self.metrics.stage_finished(stage, elapsed);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{ArtifactCache, CacheKey, CacheLimits, CachedSynthesis};
+
+    #[test]
+    fn counters_land_in_the_snapshot() {
+        let metrics = ServeMetrics::shared();
+        metrics.request_read();
+        metrics.request_read();
+        metrics.response(true);
+        metrics.response(false);
+        metrics.ping();
+        metrics.stats_request();
+        metrics.enqueued();
+        metrics.enqueued();
+        metrics.dequeued();
+        metrics.connection_opened();
+        metrics.connection_rejected();
+        metrics.request_served_in(2_000_000);
+        let snapshot = metrics.snapshot(None);
+        let requests = snapshot.get("requests").unwrap();
+        assert_eq!(requests.get("read").unwrap().as_u64(), Some(2));
+        assert_eq!(requests.get("ok").unwrap().as_u64(), Some(1));
+        assert_eq!(requests.get("errors").unwrap().as_u64(), Some(1));
+        assert_eq!(requests.get("pings").unwrap().as_u64(), Some(1));
+        assert_eq!(requests.get("stats").unwrap().as_u64(), Some(1));
+        assert_eq!(requests.get("mean_service_ms").unwrap().as_f64(), Some(2.0));
+        let queue = snapshot.get("queue").unwrap();
+        assert_eq!(queue.get("depth").unwrap().as_u64(), Some(1));
+        assert_eq!(queue.get("peak").unwrap().as_u64(), Some(2));
+        let connections = snapshot.get("connections").unwrap();
+        assert_eq!(connections.get("active").unwrap().as_u64(), Some(1));
+        assert_eq!(connections.get("rejected").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            snapshot.get("cache").unwrap().get("enabled"),
+            Some(&Json::Bool(false))
+        );
+    }
+
+    #[test]
+    fn cache_section_reflects_the_cache() {
+        let metrics = ServeMetrics::shared();
+        let cache = ArtifactCache::new(CacheLimits::default());
+        cache.insert(
+            CacheKey {
+                machine: 1,
+                config: 2,
+            },
+            CachedSynthesis {
+                machine_name: "tav".into(),
+                config_json: "{}".into(),
+                report_json: "{}".into(),
+            },
+        );
+        let _ = cache.get(
+            CacheKey {
+                machine: 1,
+                config: 2,
+            },
+            "tav",
+        );
+        let section = metrics.snapshot(Some(&cache));
+        let cache_stats = section.get("cache").unwrap();
+        assert_eq!(cache_stats.get("enabled"), Some(&Json::Bool(true)));
+        assert_eq!(cache_stats.get("entries").unwrap().as_u64(), Some(1));
+        assert_eq!(cache_stats.get("hits").unwrap().as_u64(), Some(1));
+        let line = metrics.log_line(Some(&cache));
+        assert!(line.contains("hits=1"), "{line}");
+    }
+
+    #[test]
+    fn stage_timer_pairs_starts_with_finishes() {
+        let metrics = ServeMetrics::shared();
+        let timer = StageTimer::new(Arc::clone(&metrics));
+        timer.on_event(&Event::StageStarted {
+            machine: "tav",
+            stage: "solve",
+        });
+        timer.on_event(&Event::StageFinished {
+            machine: "tav",
+            stage: "solve",
+        });
+        // A finish without a start is ignored, not a panic.
+        timer.on_event(&Event::StageFinished {
+            machine: "tav",
+            stage: "encode",
+        });
+        let snapshot = metrics.snapshot(None);
+        let stages = snapshot.get("stages").unwrap();
+        assert_eq!(
+            stages.get("solve").unwrap().get("count").unwrap().as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            stages.get("encode").unwrap().get("count").unwrap().as_u64(),
+            Some(0)
+        );
+        assert!(!timer.should_cancel());
+    }
+
+    #[test]
+    fn unknown_stage_names_are_ignored() {
+        let metrics = ServeMetrics::shared();
+        metrics.stage_finished("no-such-stage", 1);
+        let stages = metrics.snapshot(None);
+        let stages = stages.get("stages").unwrap();
+        let Json::Object(entries) = stages else {
+            panic!("stages is an object");
+        };
+        assert!(entries
+            .iter()
+            .all(|(_, v)| v.get("count").unwrap().as_u64() == Some(0)));
+    }
+}

@@ -1,5 +1,6 @@
 //! The `stc serve` request loop: a long-lived JSON-lines service over any
-//! reader/writer pair (the CLI wires it to stdin/stdout).
+//! reader/writer pair (the CLI wires it to stdin/stdout, or to TCP
+//! connections via [`crate::NetServer`]).
 //!
 //! # Protocol
 //!
@@ -11,6 +12,7 @@
 //! {"id": 2, "machine": "tav", "overrides": {"solver.max_nodes": 5000}}
 //! {"id": 3, "kiss2": ".i 1\n…", "name": "custom"}
 //! {"id": 4, "ping": true}
+//! {"id": 5, "stats": true}
 //! ```
 //!
 //! * `id` — any JSON value, echoed verbatim in the response (absent → `null`);
@@ -21,7 +23,9 @@
 //!   mechanism as profile files and CLI flags); `jobs` is server-level and
 //!   rejected here;
 //! * `"ping": true` — answered immediately with
-//!   `{"id":…,"ok":true,"pong":true}` (any other `ping` value is ignored).
+//!   `{"id":…,"ok":true,"pong":true}` (any other `ping` value is ignored);
+//! * `"stats": true` — answered with a [`crate::ServeMetrics`] snapshot:
+//!   `{"id":…,"ok":true,"stats":{…}}` (same `true`-only rule as `ping`).
 //!
 //! Successful responses carry the machine report and the effective
 //! configuration that produced it:
@@ -36,14 +40,27 @@
 //! be written *out of request order* — clients correlate by `id`.  For a
 //! fixed request, the `report` payload is deterministic: it contains no
 //! wall-clock values and does not depend on the worker count.
+//!
+//! # Artifact cache
+//!
+//! With [`ServeOptions::cache`] set, successful responses are memoized in a
+//! content-addressed [`crate::ArtifactCache`] keyed by `(machine content
+//! hash, effective-config fingerprint)`.  A hit skips the solver and replays
+//! the stored rendering — responses are **byte-identical** cache-on vs
+//! cache-off (both paths splice the same fragments around the request's
+//! `id`).  Requests whose effective configuration sets any wall-clock bound
+//! bypass the cache (see [`crate::cache::cacheable`]).
 
+use crate::cache::{cacheable, config_fingerprint, ArtifactCache, CacheKey, CachedSynthesis};
 use crate::config::StcConfig;
 use crate::corpus::{embedded_corpus, CorpusEntry};
 use crate::json::Json;
+use crate::metrics::{ServeMetrics, StageTimer};
 use crate::session::{echo_config, Synthesis};
+use crate::CacheLimits;
 use std::io::{BufRead, Write};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
 
 /// Counters of one serve loop, for logging and tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -54,10 +71,204 @@ pub struct ServeStats {
     pub errors: u64,
 }
 
+/// Tuning of a serve loop beyond the base configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Worker threads (`0` = auto via available parallelism).
+    pub jobs: usize,
+    /// Artifact-cache bounds; `None` disables caching.
+    pub cache: Option<CacheLimits>,
+}
+
+/// The shared state of one serve loop: base configuration, the embedded
+/// corpus, the optional artifact cache and the service metrics.  One context
+/// outlives all workers (and, for the network server, all connections).
+pub(crate) struct ServeContext {
+    base: StcConfig,
+    corpus: Vec<CorpusEntry>,
+    cache: Option<ArtifactCache>,
+    metrics: Arc<ServeMetrics>,
+}
+
+/// A rendered response line plus its outcome flag.
+pub(crate) struct Response {
+    /// The compact-JSON response, without trailing newline.
+    pub line: String,
+    /// Whether the response carries `"ok": true`.
+    pub ok: bool,
+}
+
+impl ServeContext {
+    pub(crate) fn new(base: StcConfig, cache: Option<CacheLimits>) -> Self {
+        Self {
+            base,
+            corpus: embedded_corpus(),
+            cache: cache.map(ArtifactCache::new),
+            metrics: ServeMetrics::shared(),
+        }
+    }
+
+    pub(crate) fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.metrics
+    }
+
+    pub(crate) fn cache(&self) -> Option<&ArtifactCache> {
+        self.cache.as_ref()
+    }
+
+    /// Parses and serves one request line; infallible (errors become error
+    /// responses).  Updates the request/outcome/latency metrics.
+    pub(crate) fn handle_line(&self, line: &str) -> Response {
+        let started = Instant::now();
+        let response = self.handle_request(line);
+        let elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.metrics.request_served_in(elapsed);
+        self.metrics.response(response.ok);
+        response
+    }
+
+    fn handle_request(&self, line: &str) -> Response {
+        let request = match Json::parse(line) {
+            Ok(value @ Json::Object(_)) => value,
+            Ok(_) => return error_response(Json::Null, "request must be a JSON object"),
+            Err(e) => return error_response(Json::Null, &format!("malformed request: {e}")),
+        };
+        let id = request.get("id").cloned().unwrap_or(Json::Null);
+
+        // Only `"ping": true` is a ping — a client that always serialises a
+        // `ping: false` field must still get its machine served.  Same for
+        // `stats`.
+        if request.get("ping") == Some(&Json::Bool(true)) {
+            self.metrics.ping();
+            return Response {
+                line: format!("{{\"id\":{},\"ok\":true,\"pong\":true}}", id.to_compact()),
+                ok: true,
+            };
+        }
+        if request.get("stats") == Some(&Json::Bool(true)) {
+            self.metrics.stats_request();
+            let snapshot = self.metrics.snapshot(self.cache.as_ref());
+            return Response {
+                line: format!(
+                    "{{\"id\":{},\"ok\":true,\"stats\":{}}}",
+                    id.to_compact(),
+                    snapshot.to_compact()
+                ),
+                ok: true,
+            };
+        }
+
+        // Layer the request's overrides over the server's base configuration.
+        let mut config = self.base.clone();
+        if let Some(overrides) = request.get("overrides") {
+            let Json::Object(entries) = overrides else {
+                return error_response(id, "'overrides' must be an object of dotted config keys");
+            };
+            for (key, value) in entries {
+                if key == "jobs" {
+                    // The worker pool is sized once at startup and each
+                    // request runs exactly one machine, so a per-request
+                    // 'jobs' would be silently ignored — reject it instead.
+                    return error_response(
+                        id,
+                        "'jobs' is a server-level setting (stc serve --jobs) and cannot be \
+                         overridden per request",
+                    );
+                }
+                let value = match value {
+                    Json::String(s) => s.clone(),
+                    other => other.to_compact(),
+                };
+                if let Err(e) = config.set(key, &value) {
+                    return error_response(id, &e.to_string());
+                }
+            }
+        }
+
+        let entry = match resolve_machine(&request, &self.corpus) {
+            Ok(entry) => entry,
+            Err(message) => return error_response(id, &message),
+        };
+
+        // Cache lookup: only configurations without wall-clock bounds are
+        // content-addressable (their results are pure functions of the key).
+        let cache_key = self
+            .cache
+            .as_ref()
+            .filter(|_| cacheable(&config))
+            .map(|cache| {
+                let key = CacheKey {
+                    machine: entry.machine.stable_hash(),
+                    config: config_fingerprint(&config),
+                };
+                (cache, key)
+            });
+        if let Some((cache, key)) = &cache_key {
+            if let Some(hit) = cache.get(*key, entry.name()) {
+                return Response {
+                    line: splice_ok(&id, &hit.machine_name, &hit.config_json, &hit.report_json),
+                    ok: true,
+                };
+            }
+        }
+
+        let session = Synthesis::builder()
+            .config(config)
+            .observer(Arc::new(StageTimer::new(Arc::clone(&self.metrics))))
+            .build();
+        let report = session.run(&entry);
+        let rendered = CachedSynthesis {
+            machine_name: report.name.clone(),
+            config_json: echo_config(session.config()).to_json().to_compact(),
+            report_json: report.to_json().to_compact(),
+        };
+        let line = splice_ok(
+            &id,
+            &rendered.machine_name,
+            &rendered.config_json,
+            &rendered.report_json,
+        );
+        if let Some((cache, key)) = cache_key {
+            cache.insert(key, rendered);
+        }
+        Response { line, ok: true }
+    }
+}
+
+/// Splices a success response from its rendered fragments.  Cold and cached
+/// paths both go through here, which is what makes cached responses
+/// byte-identical: the only varying part, the request `id`, is rendered the
+/// same way on both.
+fn splice_ok(id: &Json, machine_name: &str, config_json: &str, report_json: &str) -> String {
+    format!(
+        "{{\"id\":{},\"ok\":true,\"machine\":{},\"config\":{},\"report\":{}}}",
+        id.to_compact(),
+        Json::String(machine_name.to_string()).to_compact(),
+        config_json,
+        report_json
+    )
+}
+
 /// Runs the serve loop until `input` reaches EOF, writing one response line
 /// per request line.  `jobs` is the worker count (already resolved; the CLI
 /// resolves `0` to the available parallelism before calling).  Returns the
-/// request/error counters.
+/// request/error counters.  Equivalent to [`serve_with`] with no cache —
+/// the compatibility entry point.
+///
+/// # Errors
+///
+/// See [`serve_with`].
+pub fn serve<R: BufRead, W: Write + Send>(
+    input: R,
+    output: W,
+    base: &StcConfig,
+    jobs: usize,
+) -> std::io::Result<ServeStats> {
+    serve_with(input, output, base, &ServeOptions { jobs, cache: None })
+}
+
+/// Runs the serve loop with explicit [`ServeOptions`] (worker count,
+/// artifact cache).
 ///
 /// Requests are queued with backpressure (a bounded channel of a few lines
 /// per worker), so piping a huge batch file into `stc serve` holds only the
@@ -71,15 +282,27 @@ pub struct ServeStats {
 /// is returned — though, since the reader blocks on `input`, not before the
 /// current line read completes (the next request or EOF; when a client dies
 /// its pipe closes and `input` reaches EOF).
-pub fn serve<R: BufRead, W: Write + Send>(
+pub fn serve_with<R: BufRead, W: Write + Send>(
     input: R,
     output: W,
     base: &StcConfig,
+    options: &ServeOptions,
+) -> std::io::Result<ServeStats> {
+    let context = ServeContext::new(base.clone(), options.cache);
+    let jobs = crate::config::resolve_jobs(options.jobs);
+    serve_on(&context, input, output, jobs)
+}
+
+/// The worker-pool serve loop over an existing context (shared with the
+/// network front end, which runs one instance per connection with a single
+/// worker).
+pub(crate) fn serve_on<R: BufRead, W: Write + Send>(
+    context: &ServeContext,
+    input: R,
+    output: W,
     jobs: usize,
 ) -> std::io::Result<ServeStats> {
-    let corpus = embedded_corpus();
     let writer = Mutex::new(output);
-    let errors = AtomicU64::new(0);
     let mut requests = 0u64;
     // Clamp defensively: an absurd --jobs (typo, bad deployment config)
     // must degrade to "many workers", not abort the process when the
@@ -108,18 +331,16 @@ pub fn serve<R: BufRead, W: Write + Send>(
                 let Ok(line) = line else {
                     break; // channel closed: EOF reached and queue drained
                 };
+                context.metrics().dequeued();
                 if write_failed() {
                     break; // don't synthesize answers nobody can receive
                 }
-                let response = handle_request(&line, base, &corpus);
-                if response.get("ok").map(|v| v == &Json::Bool(false)) == Some(true) {
-                    errors.fetch_add(1, Ordering::Relaxed);
-                }
+                let response = context.handle_line(&line);
                 let result = {
                     let mut writer = writer.lock().expect("no panics while holding lock");
                     // Write + flush under one lock so lines never interleave
                     // and clients see each response promptly.
-                    writeln!(writer, "{}", response.to_compact()).and_then(|()| writer.flush())
+                    writeln!(writer, "{}", response.line).and_then(|()| writer.flush())
                 };
                 if let Err(e) = result {
                     write_error
@@ -140,6 +361,8 @@ pub fn serve<R: BufRead, W: Write + Send>(
                         continue;
                     }
                     requests += 1;
+                    context.metrics().request_read();
+                    context.metrics().enqueued();
                     // try_send + poll rather than a blocking send: when the
                     // queue is full because every worker died on a write
                     // error, a blocking send would never return (the
@@ -176,71 +399,20 @@ pub fn serve<R: BufRead, W: Write + Send>(
     }
     Ok(ServeStats {
         requests,
-        errors: errors.load(Ordering::Relaxed),
+        errors: context.metrics().errors(),
     })
 }
 
-/// Parses and serves one request line; infallible (errors become error
-/// responses).
-fn handle_request(line: &str, base: &StcConfig, corpus: &[CorpusEntry]) -> Json {
-    let request = match Json::parse(line) {
-        Ok(value @ Json::Object(_)) => value,
-        Ok(_) => return error_response(Json::Null, "request must be a JSON object"),
-        Err(e) => return error_response(Json::Null, &format!("malformed request: {e}")),
-    };
-    let id = request.get("id").cloned().unwrap_or(Json::Null);
-
-    // Only `"ping": true` is a ping — a client that always serialises a
-    // `ping: false` field must still get its machine served.
-    if request.get("ping") == Some(&Json::Bool(true)) {
-        return Json::Object(vec![
+fn error_response(id: Json, message: &str) -> Response {
+    Response {
+        line: Json::Object(vec![
             ("id".into(), id),
-            ("ok".into(), Json::Bool(true)),
-            ("pong".into(), Json::Bool(true)),
-        ]);
+            ("ok".into(), Json::Bool(false)),
+            ("error".into(), Json::String(message.to_string())),
+        ])
+        .to_compact(),
+        ok: false,
     }
-
-    // Layer the request's overrides over the server's base configuration.
-    let mut config = base.clone();
-    if let Some(overrides) = request.get("overrides") {
-        let Json::Object(entries) = overrides else {
-            return error_response(id, "'overrides' must be an object of dotted config keys");
-        };
-        for (key, value) in entries {
-            if key == "jobs" {
-                // The worker pool is sized once at startup and each request
-                // runs exactly one machine, so a per-request 'jobs' would be
-                // silently ignored — reject it instead.
-                return error_response(
-                    id,
-                    "'jobs' is a server-level setting (stc serve --jobs) and cannot be \
-                     overridden per request",
-                );
-            }
-            let value = match value {
-                Json::String(s) => s.clone(),
-                other => other.to_compact(),
-            };
-            if let Err(e) = config.set(key, &value) {
-                return error_response(id, &e.to_string());
-            }
-        }
-    }
-
-    let entry = match resolve_machine(&request, corpus) {
-        Ok(entry) => entry,
-        Err(message) => return error_response(id, &message),
-    };
-
-    let session = Synthesis::builder().config(config).build();
-    let report = session.run(&entry);
-    Json::Object(vec![
-        ("id".into(), id),
-        ("ok".into(), Json::Bool(true)),
-        ("machine".into(), Json::String(report.name.clone())),
-        ("config".into(), echo_config(session.config()).to_json()),
-        ("report".into(), report.to_json()),
-    ])
 }
 
 /// Resolves the request's machine: an embedded-corpus name or inline KISS2.
@@ -264,16 +436,8 @@ fn resolve_machine(request: &Json, corpus: &[CorpusEntry]) -> Result<CorpusEntry
                 .map_err(|e| format!("KISS2 parse error: {e}"))
         }
         (None, Some(_)) => Err("'kiss2' must be a string".into()),
-        (None, None) => Err("request needs 'machine', 'kiss2' or 'ping'".into()),
+        (None, None) => Err("request needs 'machine', 'kiss2', 'ping' or 'stats'".into()),
     }
-}
-
-fn error_response(id: Json, message: &str) -> Json {
-    Json::Object(vec![
-        ("id".into(), id),
-        ("ok".into(), Json::Bool(false)),
-        ("error".into(), Json::String(message.to_string())),
-    ])
 }
 
 #[cfg(test)]
@@ -290,8 +454,12 @@ mod tests {
     }
 
     fn serve_lines(input: &str, jobs: usize) -> (Vec<Json>, ServeStats) {
+        serve_lines_with(input, &ServeOptions { jobs, cache: None })
+    }
+
+    fn serve_lines_with(input: &str, options: &ServeOptions) -> (Vec<Json>, ServeStats) {
         let mut output = Vec::new();
-        let stats = serve(input.as_bytes(), &mut output, &base(), jobs).unwrap();
+        let stats = serve_with(input.as_bytes(), &mut output, &base(), options).unwrap();
         let text = String::from_utf8(output).unwrap();
         let responses = text
             .lines()
@@ -485,5 +653,120 @@ mod tests {
                 .unwrap();
             assert_eq!(response, twin, "id {id}");
         }
+    }
+
+    #[test]
+    fn stats_requests_answer_a_metrics_snapshot() {
+        let input = "{\"id\": 1, \"machine\": \"tav\"}\n\
+                     {\"id\": 2, \"stats\": true}\n\
+                     {\"id\": 3, \"stats\": false}\n";
+        let (responses, stats) = serve_lines_with(
+            input,
+            &ServeOptions {
+                jobs: 1,
+                cache: Some(CacheLimits::default()),
+            },
+        );
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.errors, 1, "stats:false alone is an invalid request");
+        let by_id = |id: u64| {
+            responses
+                .iter()
+                .find(|r| r.get("id").unwrap().as_u64() == Some(id))
+                .unwrap()
+        };
+        let snapshot = by_id(2).get("stats").expect("stats section");
+        let requests = snapshot.get("requests").unwrap();
+        assert!(requests.get("read").unwrap().as_u64() >= Some(2));
+        assert_eq!(
+            snapshot.get("cache").unwrap().get("enabled"),
+            Some(&Json::Bool(true))
+        );
+        let stages = snapshot.get("stages").unwrap();
+        assert_eq!(
+            stages.get("solve").unwrap().get("count").unwrap().as_u64(),
+            Some(1),
+            "the stage timer saw the one cold synthesis"
+        );
+        assert_eq!(by_id(3).get("ok"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn cached_responses_are_byte_identical_to_cold_ones() {
+        let input = "{\"id\": 1, \"machine\": \"tav\"}\n";
+        let repeated = input.repeat(3);
+        let mut cold_output = Vec::new();
+        serve_with(
+            repeated.as_bytes(),
+            &mut cold_output,
+            &base(),
+            &ServeOptions {
+                jobs: 1,
+                cache: None,
+            },
+        )
+        .unwrap();
+        let mut cached_output = Vec::new();
+        serve_with(
+            repeated.as_bytes(),
+            &mut cached_output,
+            &base(),
+            &ServeOptions {
+                jobs: 1,
+                cache: Some(CacheLimits::default()),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            String::from_utf8(cold_output).unwrap(),
+            String::from_utf8(cached_output).unwrap()
+        );
+    }
+
+    #[test]
+    fn cache_hits_skip_the_solver() {
+        let context = ServeContext::new(base(), Some(CacheLimits::default()));
+        let request = "{\"id\": 1, \"machine\": \"tav\"}";
+        let cold = context.handle_line(request);
+        let warm = context.handle_line(request);
+        assert_eq!(cold.line, warm.line);
+        let counters = context.cache().unwrap().counters();
+        assert_eq!(counters.hits, 1);
+        assert_eq!(counters.misses, 1);
+        // The solver ran exactly once: the stage timer counted one solve.
+        let stages = context.metrics().snapshot(context.cache());
+        let solve = stages.get("stages").unwrap().get("solve").unwrap();
+        assert_eq!(solve.get("count").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn wall_clock_bounded_requests_bypass_the_cache() {
+        let context = ServeContext::new(base(), Some(CacheLimits::default()));
+        let request =
+            "{\"id\": 1, \"machine\": \"tav\", \"overrides\": {\"machine_timeout_secs\": 3600}}";
+        let first = context.handle_line(request);
+        let second = context.handle_line(request);
+        assert_eq!(first.line, second.line, "generous timeout never fires");
+        let counters = context.cache().unwrap().counters();
+        assert_eq!(counters.hits, 0);
+        assert_eq!(counters.misses, 0, "the cache was never consulted");
+        assert_eq!(counters.insertions, 0);
+    }
+
+    #[test]
+    fn override_and_base_requests_cache_separately() {
+        let context = ServeContext::new(base(), Some(CacheLimits::default()));
+        let plain = context.handle_line("{\"id\": 1, \"machine\": \"tav\"}");
+        let with_override = context.handle_line(
+            "{\"id\": 1, \"machine\": \"tav\", \"overrides\": {\"bist.patterns\": 8}}",
+        );
+        assert_ne!(plain.line, with_override.line);
+        assert_eq!(context.cache().unwrap().counters().insertions, 2);
+        // Re-issuing both hits both entries.
+        context.handle_line("{\"id\": 1, \"machine\": \"tav\"}");
+        context.handle_line(
+            "{\"id\": 1, \"machine\": \"tav\", \"overrides\": {\"bist.patterns\": 8}}",
+        );
+        assert_eq!(context.cache().unwrap().counters().hits, 2);
     }
 }

@@ -29,8 +29,9 @@
 use stc::analyze::Severity;
 use stc::pipeline::{
     compare_benchmarks, coverage_json, embedded_corpus, filter_by_names, format_summary_table,
-    kiss2_corpus, lint_json, load_baseline_dir, search_stats_json, serve, BenchMeasurement,
-    CorpusEntry, Event, Observer, PipelineError, StcConfig, SuiteRun, Synthesis,
+    kiss2_corpus, lint_json, load_baseline_dir, search_stats_json, serve_with, BenchMeasurement,
+    CacheLimits, CorpusEntry, Event, NetOptions, NetServer, Observer, PipelineError, ServeOptions,
+    StcConfig, SuiteRun, Synthesis,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -47,8 +48,9 @@ USAGE:
     stc lint [OPTIONS]           run the pipeline with the static-analysis stage
                                  and print the per-machine lint/testability JSON;
                                  exit 1 if any finding reaches error severity
-    stc serve [OPTIONS]          serve synthesis requests over stdin/stdout
-                                 (JSON lines; see README 'The serve protocol')
+    stc serve [OPTIONS]          serve synthesis requests over stdin/stdout, or
+                                 over TCP with --listen (JSON lines; see
+                                 docs/SERVE.md for the full protocol)
     stc list [OPTIONS]           list the machines of the selected corpus
     stc bench-check [OPTIONS]    compare bench results against committed baselines
     stc help                     print this message
@@ -105,6 +107,21 @@ LINT OPTIONS (corpus + config options also apply):
     --out <FILE>                 write the lint JSON to FILE instead of stdout
     --deny <CODE[,CODE…]>        promote diagnostic codes to error severity
                                  (repeatable; same as --set analysis.deny=…)
+
+SERVE OPTIONS (config options also apply):
+    --listen <ADDR>              serve over TCP at ADDR (e.g. 127.0.0.1:7878;
+                                 port 0 picks an ephemeral port, logged on
+                                 stderr) instead of stdin/stdout; one
+                                 JSON-lines conversation per connection
+    --cache-size <N>             artifact-cache entry bound (default 256;
+                                 0 disables the cache)
+    --cache-bytes <N>            artifact-cache payload bound in bytes
+                                 (default 67108864 = 64 MiB; 0 disables)
+    --max-connections <N>        simultaneous TCP connections; extra clients
+                                 get one error line and are disconnected
+                                 (default 64; --listen only)
+    --stats-interval-secs <S>    print a service-stats summary line to stderr
+                                 every S seconds (default 0 = off; --listen only)
 
 BENCH-CHECK OPTIONS:
     --baseline-dir <DIR>         committed baselines (default: crates/bench)
@@ -550,24 +567,79 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let default_limits = CacheLimits::default();
     let mut config_args = ConfigArgs::new();
+    let mut listen: Option<String> = None;
+    let mut cache_size = default_limits.max_entries;
+    let mut cache_bytes = default_limits.max_bytes;
+    let mut max_connections = NetOptions::default().max_connections;
+    let mut stats_interval_secs = 0u64;
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
-        if !config_args.parse_flag(flag, &mut iter)? {
-            return Err(format!("unknown flag '{flag}' for 'stc serve'"));
+        if config_args.parse_flag(flag, &mut iter)? {
+            continue;
+        }
+        match flag.as_str() {
+            "--listen" => listen = Some(take_value(flag, &mut iter)?.clone()),
+            "--cache-size" => cache_size = parse_number(flag, take_value(flag, &mut iter)?)?,
+            "--cache-bytes" => cache_bytes = parse_number(flag, take_value(flag, &mut iter)?)?,
+            "--max-connections" => {
+                max_connections = parse_number(flag, take_value(flag, &mut iter)?)?;
+            }
+            "--stats-interval-secs" => {
+                stats_interval_secs = parse_number(flag, take_value(flag, &mut iter)?)?;
+            }
+            other => return Err(format!("unknown flag '{other}' for 'stc serve'")),
         }
     }
     let config = config_args.build()?;
-    let jobs = config.resolve_jobs();
-    eprintln!(
-        "stc serve: ready on stdin/stdout, {jobs} worker(s){} — one JSON request per line",
-        if config.jobs == 0 { " [auto]" } else { "" }
-    );
-    let stdin = std::io::stdin();
-    // `Stdout` (unlike `StdoutLock`) is `Send`; the serve loop serialises
-    // writes behind its own mutex anyway.
-    let stats = serve(stdin.lock(), std::io::stdout(), &config, jobs)
-        .map_err(|e| format!("serve I/O error: {e}"))?;
+    let cache = (cache_size > 0 && cache_bytes > 0).then_some(CacheLimits {
+        max_entries: cache_size,
+        max_bytes: cache_bytes,
+    });
+    let cache_label = match cache {
+        Some(limits) => format!(
+            "cache {} entries / {} bytes",
+            limits.max_entries, limits.max_bytes
+        ),
+        None => "cache off".to_string(),
+    };
+
+    let stats = if let Some(addr) = listen {
+        let options = NetOptions {
+            max_connections,
+            cache,
+            stats_interval: (stats_interval_secs > 0)
+                .then(|| std::time::Duration::from_secs(stats_interval_secs)),
+        };
+        let server = NetServer::bind(addr.as_str(), &config, options)
+            .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+        let local = server
+            .local_addr()
+            .map_err(|e| format!("cannot resolve listen address: {e}"))?;
+        // Tests and scripts parse this line to discover an ephemeral port.
+        eprintln!(
+            "stc serve: listening on {local}, up to {max_connections} connection(s), \
+             {cache_label} — send {{\"shutdown\":true}} or Ctrl-C to stop"
+        );
+        server.run().map_err(|e| format!("serve I/O error: {e}"))?
+    } else {
+        let jobs = config.resolve_jobs();
+        eprintln!(
+            "stc serve: ready on stdin/stdout, {jobs} worker(s){}, {cache_label} — one JSON \
+             request per line",
+            if config.jobs == 0 { " [auto]" } else { "" }
+        );
+        let stdin = std::io::stdin();
+        // `Stdout` (unlike `StdoutLock`) is `Send`; the serve loop serialises
+        // writes behind its own mutex anyway.
+        let options = ServeOptions {
+            jobs: config.jobs,
+            cache,
+        };
+        serve_with(stdin.lock(), std::io::stdout(), &config, &options)
+            .map_err(|e| format!("serve I/O error: {e}"))?
+    };
     eprintln!(
         "stc serve: done, {} request(s), {} error response(s)",
         stats.requests, stats.errors

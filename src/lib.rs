@@ -60,6 +60,105 @@
 //! let reports = stc::bist::evaluate_architectures(&machine, &ArchitectureOptions::default());
 //! assert!(reports[3].flipflops <= reports[1].flipflops);
 //! ```
+//!
+//! # Configuration keys
+//!
+//! Every knob of the flow is one dotted key, shared verbatim by
+//! [`StcConfig::set`], `--set KEY=VALUE` on the CLI, `--profile` files and
+//! per-request `overrides` objects of the serve protocol
+//! (`docs/SERVE.md`).  The canonical table — names and help text — is
+//! [`pipeline::CONFIG_KEYS`], which `stc help` prints; the list below is
+//! asserted against it, so it cannot drift:
+//!
+//! ```
+//! let keys: Vec<&str> = stc::pipeline::CONFIG_KEYS.iter().map(|(key, _)| *key).collect();
+//! assert_eq!(
+//!     keys,
+//!     [
+//!         "jobs",                       // worker threads (0 = auto)
+//!         "solver.max_nodes",           // OSTR node budget per machine
+//!         "solver.time_limit_secs",     // solver wall-clock limit (0 = none)
+//!         "solver.lemma1_pruning",      // Lemma 1 subtree pruning
+//!         "solver.stop_at_lower_bound", // stop at the proven lower bound
+//!         "solver.branch_and_bound",    // cost-bound pruning
+//!         "solver.jobs",                // parallel subtree exploration
+//!         "encoding",                   // binary | gray | one-hot | adjacency-greedy
+//!         "synth.minimize",             // two-level minimisation
+//!         "bist.patterns",              // patterns per self-test session
+//!         "coverage.enabled",           // exact fault-coverage measurement
+//!         "coverage.max_patterns",      // measurement pattern cap (0 = plan budget)
+//!         "analysis.enabled",           // static lints + SCOAP testability
+//!         "analysis.deny",              // diagnostic codes promoted to error
+//!         "gate_level.max_states",      // gate-level stage |S| limit
+//!         "gate_level.max_inputs",      // gate-level input-alphabet limit
+//!         "machine_timeout_secs",       // per-machine wall-clock net (0 = none)
+//!         "stage_deadline_secs",        // per-stage deadline (0 = none)
+//!     ]
+//! );
+//! ```
+//!
+//! # Observer events
+//!
+//! An [`Observer`] attached via [`SynthesisBuilder::observer`] receives
+//! the full event vocabulary of [`Event`]: `StageStarted` /
+//! `StageFinished` (stage names from [`pipeline::stage_names`]),
+//! `SolverProgress`, `IncumbentImproved`, `BudgetExhausted` and
+//! `MachineFinished` — and may request cooperative cancellation via
+//! `should_cancel`.  Events are a side channel: attaching an observer
+//! never changes report bytes.
+//!
+//! ```
+//! use stc::{Event, Observer, Synthesis};
+//! use std::sync::{Arc, Mutex};
+//!
+//! #[derive(Default)]
+//! struct Trace(Mutex<Vec<&'static str>>);
+//! impl Observer for Trace {
+//!     fn on_event(&self, event: &Event<'_>) {
+//!         if let Event::StageFinished { stage, .. } = event {
+//!             self.0.lock().unwrap().push(stage);
+//!         }
+//!     }
+//! }
+//!
+//! let trace = Arc::new(Trace::default());
+//! let session = Synthesis::builder().observer(trace.clone()).build();
+//! let corpus = stc::pipeline::filter_by_names(
+//!     stc::pipeline::embedded_corpus(),
+//!     &["tav".to_string()],
+//! )
+//! .unwrap();
+//! session.run(&corpus[0]);
+//! let stages = trace.0.lock().unwrap().clone();
+//! assert!(stages.contains(&stc::pipeline::stage_names::SOLVE));
+//! assert!(stages.contains(&stc::pipeline::stage_names::BIST));
+//! ```
+//!
+//! # The service layer
+//!
+//! [`pipeline::serve_with`] is the JSON-lines request loop behind
+//! `stc serve` (requests in, responses out, per-request config
+//! overrides); [`pipeline::NetServer`] serves the same protocol over TCP
+//! with a shared content-addressed [`pipeline::ArtifactCache`] (cache
+//! hits replay byte-identical responses) and [`pipeline::ServeMetrics`]
+//! behind the in-protocol `stats` request.  The full protocol reference
+//! is `docs/SERVE.md`; the architecture notes are `DESIGN.md` §9.
+//!
+//! ```
+//! use stc::pipeline::{serve_with, CacheLimits, ServeOptions};
+//!
+//! let input: &[u8] = b"{\"id\": 1, \"ping\": true}\n";
+//! let mut output = Vec::new();
+//! let stats = serve_with(
+//!     input,
+//!     &mut output,
+//!     &stc::StcConfig::default(),
+//!     &ServeOptions { jobs: 1, cache: Some(CacheLimits::default()) },
+//! )
+//! .unwrap();
+//! assert_eq!(stats.requests, 1);
+//! assert!(String::from_utf8(output).unwrap().contains("\"pong\":true"));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,172 @@
+//! Drives a real `stc serve --listen` subprocess over TCP: ephemeral port
+//! discovery through the stderr banner, the JSON-lines protocol across
+//! connections, the shared cache, and graceful shutdown by request.
+
+use stc::pipeline::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+
+/// Spawns `stc serve --listen 127.0.0.1:0 <extra-args>` and extracts the
+/// bound address from the "listening on" banner.  The stderr reader is
+/// returned too: dropping the pipe early would EPIPE the server's final
+/// status line.
+fn spawn_server(extra: &[&str]) -> (Child, String, BufReader<std::process::ChildStderr>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_stc"))
+        .args(["serve", "--listen", "127.0.0.1:0", "--patterns", "32"])
+        .args(extra)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("the stc binary spawns");
+    let mut stderr = BufReader::new(child.stderr.take().expect("piped stderr"));
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            stderr.read_line(&mut line).expect("stderr line") > 0,
+            "server exited before printing its address"
+        );
+        if let Some(rest) = line.trim_end().strip_prefix("stc serve: listening on ") {
+            break rest
+                .split(',')
+                .next()
+                .expect("address before comma")
+                .to_string();
+        }
+    };
+    (child, addr, stderr)
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Self {
+        let writer = TcpStream::connect(addr).expect("connect to stc serve");
+        writer.set_nodelay(true).expect("nodelay");
+        let reader = BufReader::new(writer.try_clone().expect("clone"));
+        Self { writer, reader }
+    }
+
+    fn roundtrip(&mut self, request: &str) -> Json {
+        writeln!(self.writer, "{request}").expect("write request");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read response");
+        Json::parse(&line).expect("response is JSON")
+    }
+}
+
+#[test]
+fn network_serve_round_trips_requests_and_shuts_down_on_request() {
+    let (mut child, addr, _stderr) = spawn_server(&[]);
+
+    let mut first = Client::connect(&addr);
+    let pong = first.roundtrip(r#"{"id": 1, "ping": true}"#);
+    assert_eq!(pong.get("pong"), Some(&Json::Bool(true)));
+
+    let response =
+        first.roundtrip(r#"{"id": 2, "machine": "tav", "overrides": {"solver.max_nodes": 50000}}"#);
+    assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(response.get("machine").unwrap().as_str(), Some("tav"));
+    assert_eq!(
+        response
+            .get("config")
+            .unwrap()
+            .get("max_nodes")
+            .unwrap()
+            .as_u64(),
+        Some(50_000)
+    );
+    assert_eq!(
+        response
+            .get("report")
+            .unwrap()
+            .get("status")
+            .unwrap()
+            .as_str(),
+        Some("full")
+    );
+
+    // A second connection: the default-config variant is a fresh synthesis,
+    // a repeat of it on yet another connection hits the shared cache.
+    let mut second = Client::connect(&addr);
+    let fresh = second.roundtrip(r#"{"id": 3, "machine": "tav"}"#);
+    assert_eq!(fresh.get("ok"), Some(&Json::Bool(true)));
+    let mut third = Client::connect(&addr);
+    let replayed = third.roundtrip(r#"{"id": 3, "machine": "tav"}"#);
+    assert_eq!(replayed, fresh);
+
+    let stats = third.roundtrip(r#"{"id": 4, "stats": true}"#);
+    let stats = stats.get("stats").unwrap();
+    assert_eq!(
+        stats.get("cache").unwrap().get("enabled"),
+        Some(&Json::Bool(true))
+    );
+    assert!(
+        stats
+            .get("cache")
+            .unwrap()
+            .get("hits")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 1
+    );
+    assert!(
+        stats
+            .get("connections")
+            .unwrap()
+            .get("total")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 3
+    );
+
+    // Malformed input gets an error line, the connection survives.
+    let error = third.roundtrip("this is not json");
+    assert_eq!(error.get("ok"), Some(&Json::Bool(false)));
+
+    let ack = third.roundtrip(r#"{"id": 5, "shutdown": true}"#);
+    assert_eq!(ack.get("shutdown"), Some(&Json::Bool(true)));
+    let status = child.wait().expect("server exits");
+    assert!(status.success(), "graceful shutdown exits 0");
+}
+
+#[test]
+fn cache_size_zero_disables_the_cache() {
+    let (mut child, addr, _stderr) = spawn_server(&["--cache-size", "0"]);
+    let mut client = Client::connect(&addr);
+    client.roundtrip(r#"{"id": 1, "machine": "tav"}"#);
+    client.roundtrip(r#"{"id": 1, "machine": "tav"}"#);
+    let stats = client.roundtrip(r#"{"id": 2, "stats": true}"#);
+    let cache = stats.get("stats").unwrap().get("cache").unwrap();
+    assert_eq!(cache.get("enabled"), Some(&Json::Bool(false)));
+    client.roundtrip(r#"{"id": 3, "shutdown": true}"#);
+    assert!(child.wait().unwrap().success());
+}
+
+#[test]
+fn connections_beyond_the_limit_are_rejected() {
+    let (mut child, addr, _stderr) = spawn_server(&["--max-connections", "1"]);
+    let mut first = Client::connect(&addr);
+    // A completed roundtrip guarantees the first connection is registered.
+    first.roundtrip(r#"{"id": 1, "ping": true}"#);
+    let mut second = Client::connect(&addr);
+    let rejection = second.roundtrip(r#"{"id": 2, "ping": true}"#);
+    assert_eq!(rejection.get("ok"), Some(&Json::Bool(false)));
+    assert!(
+        rejection
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("connection limit"),
+        "{rejection:?}"
+    );
+    first.roundtrip(r#"{"id": 3, "shutdown": true}"#);
+    assert!(child.wait().unwrap().success());
+}
