@@ -46,7 +46,7 @@ impl BlockCoverage {
         coverage_fraction(self.detected, self.total_faults)
     }
 
-    fn from_report(block: &str, report: FaultSimReport) -> Self {
+    pub(crate) fn from_report(block: &str, report: FaultSimReport) -> Self {
         Self {
             block: block.to_string(),
             patterns: report.patterns,

@@ -120,6 +120,23 @@ impl Lfsr {
         lfsr
     }
 
+    /// Creates a modified (de Bruijn) LFSR with an explicit tap list — the
+    /// generalisation of [`Lfsr::de_bruijn`] the plan optimizer searches
+    /// over.  The full `2^width` period is only guaranteed when `taps`
+    /// describes a primitive polynomial (the tabulated
+    /// [`PRIMITIVE_TAPS`] entry or its reciprocal, see
+    /// [`reciprocal_taps`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Lfsr::new`].
+    #[must_use]
+    pub fn de_bruijn_with_taps(width: u32, taps: &[u32], seed: u64) -> Self {
+        let mut lfsr = Self::new(width, taps, seed);
+        lfsr.de_bruijn = true;
+        lfsr
+    }
+
     /// The register width in bits.
     #[must_use]
     pub fn width(&self) -> u32 {
@@ -181,6 +198,33 @@ impl Lfsr {
             );
         }
     }
+}
+
+/// The tap list of the *reciprocal* polynomial of the one given: tap `t`
+/// maps to `width − t` (with the degree term `width` kept in place).
+///
+/// The reciprocal of a primitive polynomial is itself primitive — its LFSR
+/// steps through the same maximal cycle in time-reversed order — so this
+/// doubles the polynomial choices available to the plan optimizer without
+/// extending the tabulated [`PRIMITIVE_TAPS`].  Self-reciprocal entries
+/// (width 1, width 2) map to themselves.
+///
+/// # Panics
+///
+/// Panics if a tap lies outside `1..=width`.
+#[must_use]
+pub fn reciprocal_taps(taps: &[u32], width: u32) -> Vec<u32> {
+    assert!(
+        taps.iter().all(|&t| t >= 1 && t <= width),
+        "taps must lie in 1..=width"
+    );
+    let mut reciprocal: Vec<u32> = taps
+        .iter()
+        .map(|&t| if t == width { width } else { width - t })
+        .collect();
+    reciprocal.sort_unstable_by(|a, b| b.cmp(a));
+    reciprocal.dedup();
+    reciprocal
 }
 
 #[cfg(test)]
@@ -251,6 +295,49 @@ mod tests {
         let pats = a.patterns(10);
         for p in pats {
             assert_eq!(p, b.step());
+        }
+    }
+
+    #[test]
+    fn reciprocal_taps_mirror_and_self_reciprocal_entries_are_fixed_points() {
+        assert_eq!(reciprocal_taps(&[4, 3], 4), vec![4, 1]);
+        assert_eq!(reciprocal_taps(&[8, 6, 5, 4], 8), vec![8, 4, 3, 2]);
+        // Width 1 and 2 are self-reciprocal.
+        assert_eq!(reciprocal_taps(PRIMITIVE_TAPS[1], 1), PRIMITIVE_TAPS[1]);
+        assert_eq!(reciprocal_taps(PRIMITIVE_TAPS[2], 2), PRIMITIVE_TAPS[2]);
+        // An involution: applying it twice restores the tabulated taps.
+        for width in 1..=24u32 {
+            let taps = PRIMITIVE_TAPS[width as usize];
+            let twice = reciprocal_taps(&reciprocal_taps(taps, width), width);
+            assert_eq!(twice, taps, "width {width}");
+        }
+    }
+
+    #[test]
+    fn reciprocal_polynomials_are_maximal_too() {
+        for width in 1..=14u32 {
+            let taps = reciprocal_taps(PRIMITIVE_TAPS[width as usize], width);
+            let lfsr = Lfsr::new(width, &taps, 1);
+            assert_eq!(
+                lfsr.period(),
+                (1u64 << width) - 1,
+                "reciprocal of width {width} is not maximal"
+            );
+        }
+    }
+
+    #[test]
+    fn de_bruijn_with_reciprocal_taps_visits_every_state() {
+        for width in 1..=10u32 {
+            let taps = reciprocal_taps(PRIMITIVE_TAPS[width as usize], width);
+            for seed in [1u64, (1u64 << width) - 1] {
+                let mut lfsr = Lfsr::de_bruijn_with_taps(width, &taps, seed);
+                let mut seen = std::collections::HashSet::new();
+                for _ in 0..(1u64 << width) {
+                    seen.insert(lfsr.step());
+                }
+                assert_eq!(seen.len() as u64, 1u64 << width, "width {width}");
+            }
         }
     }
 

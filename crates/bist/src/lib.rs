@@ -38,6 +38,7 @@ mod coverage;
 mod fault;
 mod lfsr;
 mod misr;
+mod optimize;
 mod session;
 mod stage;
 
@@ -53,6 +54,13 @@ pub use fault::{
     exhaustive_patterns, fault_list, lfsr_patterns, simulate_faults, simulate_faults_packed,
     FaultSimReport, PackedPatterns, StuckAtFault,
 };
-pub use lfsr::{Lfsr, PRIMITIVE_TAPS};
+pub use lfsr::{reciprocal_taps, Lfsr, PRIMITIVE_TAPS};
 pub use misr::Misr;
-pub use session::{pipeline_self_test, session_patterns, SelfTestResult, SessionResult};
+pub use optimize::{
+    measure_optimized_plan, optimize_plan, optimize_plan_with, OptimizeOptions, OptimizeProgress,
+    PlanOptimization, SessionOptimization,
+};
+pub use session::{
+    pipeline_self_test, session_patterns, session_patterns_from, session_source_width,
+    SelfTestResult, SessionResult,
+};

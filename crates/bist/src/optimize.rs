@@ -1,0 +1,833 @@
+//! Coverage-driven optimization of the two-session BIST plan.
+//!
+//! [`crate::measure_plan_coverage`] measures the *fixed* plan — the
+//! tabulated primitive polynomial, seed `1`, the same pattern count in both
+//! sessions.  This module turns that measurement into the objective of a
+//! search: [`optimize_plan`] explores the de Bruijn source's **seed and
+//! feedback-polynomial choice** and the **per-session pattern length**
+//! independently for each block, looking for the plan that reaches a target
+//! coverage (default 100%) at minimal total test length.  This is the
+//! economic argument of the paper closed into a loop: a good decomposition
+//! makes short sessions sufficient, and the optimizer finds *how* short.
+//!
+//! # Search space and order
+//!
+//! Per session, a *candidate* is a `(taps, seed)` pair for the
+//! [`crate::session_source_width`]-wide de Bruijn generating register: the
+//! tabulated [`crate::PRIMITIVE_TAPS`] polynomial or its reciprocal
+//! ([`crate::reciprocal_taps`] — primitive iff the original is), crossed
+//! with a deterministic low-discrepancy seed sequence that always starts at
+//! seed `1`.  Candidate 0 is therefore exactly the fixed plan's source, so
+//! the optimized plan is never longer than the fixed plan needs to be.  The
+//! enumeration is a pure function of the block — no wall clock, no RNG
+//! state — so results are byte-identical across runs and worker counts.
+//!
+//! # Evaluation and termination
+//!
+//! One bit-parallel pass per candidate computes every fault's **first
+//! detecting pattern index** (the same PP-SFP word sweep as
+//! [`crate::simulate_faults_packed`], with the drop point *recorded* instead
+//! of discarded).  The minimal session length reaching the target is then an
+//! order statistic of that profile — no per-length re-simulation.  Because a
+//! shorter run's stimuli are a prefix of a longer run's, a candidate can
+//! only beat the incumbent within the incumbent's window: each new candidate
+//! is simulated against at most `incumbent_length − 1` patterns, so the
+//! search gets cheaper as the incumbent improves and stops early once the
+//! minimum possible length (one pattern) is reached.
+//!
+//! When the target is unreachable within the length budget, the best
+//! candidate's undetected faults are reported ([`SessionOptimization::undetected`])
+//! for downstream ranking (the pipeline ranks them by SCOAP fault
+//! difficulty as test-point suggestions).
+
+use crate::coverage::{coverage_fraction, BlockCoverage, PlanCoverage};
+use crate::fault::{fault_list, simulate_faults_packed, PackedPatterns, StuckAtFault};
+use crate::lfsr::{reciprocal_taps, PRIMITIVE_TAPS};
+use crate::session::{session_patterns_from, session_source_width};
+use serde::{Deserialize, Serialize};
+use stc_logic::{Netlist, NodeId, PipelineLogic, PACKED_LANES};
+
+/// Tuning of one plan-optimization run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizeOptions {
+    /// Coverage each session must reach, as a fraction in `(0, 1]`.
+    pub target: f64,
+    /// Maximum `(taps, seed)` candidates evaluated per session.
+    pub max_candidates: usize,
+    /// Pattern budget: bounds each session's search window and the accepted
+    /// plan's total length (`session1 + session2`).  Must be at least 1.
+    pub max_total_length: usize,
+}
+
+impl Default for OptimizeOptions {
+    /// Full coverage, 16 candidates per session, and the fixed plan's
+    /// default total budget (2 × 256 patterns).
+    fn default() -> Self {
+        Self {
+            target: 1.0,
+            max_candidates: 16,
+            max_total_length: 512,
+        }
+    }
+}
+
+/// The optimized test of one session (one block under test).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionOptimization {
+    /// Name of the block under test (`C1` or `C2`).
+    pub block: String,
+    /// Feedback taps of the winning de Bruijn pattern source.
+    pub taps: Vec<u32>,
+    /// Seed of the winning source.
+    pub seed: u64,
+    /// Patterns the optimized session applies.
+    pub length: usize,
+    /// Size of the block's complete single-stuck-at fault list.
+    pub total_faults: usize,
+    /// Faults the optimized session detects.
+    pub detected: usize,
+    /// The faults the optimized session does not detect, in fault-list
+    /// order (empty when the target is reached with room to spare).
+    pub undetected: Vec<StuckAtFault>,
+    /// Candidates evaluated before the search terminated.
+    pub candidates: usize,
+    /// Whether the session reaches the coverage target within the budget.
+    pub target_reached: bool,
+}
+
+impl SessionOptimization {
+    /// Coverage of the optimized session as a fraction in `[0, 1]`; `0.0`
+    /// for an empty fault list (see [`crate::coverage_fraction`]).
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        coverage_fraction(self.detected, self.total_faults)
+    }
+}
+
+/// The outcome of optimizing the complete two-session plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanOptimization {
+    /// Session 1: `C1` under test.
+    pub session1: SessionOptimization,
+    /// Session 2: `C2` under test.
+    pub session2: SessionOptimization,
+    /// The coverage target the search ran against.
+    pub target: f64,
+    /// The total-length budget the search ran against.
+    pub max_total_length: usize,
+}
+
+impl PlanOptimization {
+    /// Total test length of the optimized plan (both sessions).
+    #[must_use]
+    pub fn total_length(&self) -> usize {
+        self.session1.length + self.session2.length
+    }
+
+    /// Total faults over both blocks.
+    #[must_use]
+    pub fn total_faults(&self) -> usize {
+        self.session1.total_faults + self.session2.total_faults
+    }
+
+    /// Detected faults over both blocks.
+    #[must_use]
+    pub fn detected(&self) -> usize {
+        self.session1.detected + self.session2.detected
+    }
+
+    /// Undetected faults over both blocks.
+    #[must_use]
+    pub fn undetected_faults(&self) -> usize {
+        self.session1.undetected.len() + self.session2.undetected.len()
+    }
+
+    /// Coverage of the optimized plan over both blocks (the
+    /// [`crate::coverage_fraction`] convention).
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        coverage_fraction(self.detected(), self.total_faults())
+    }
+
+    /// Whether the plan as a whole meets the objective: both sessions reach
+    /// the target and the total length stays within the budget.
+    #[must_use]
+    pub fn target_reached(&self) -> bool {
+        self.session1.target_reached
+            && self.session2.target_reached
+            && self.total_length() <= self.max_total_length
+    }
+}
+
+/// Progress of one optimization run, for side-channel reporting (the
+/// pipeline maps these onto its `Observer` events).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizeProgress<'a> {
+    /// One candidate pattern source was evaluated.
+    CandidateEvaluated {
+        /// Block under test.
+        block: &'a str,
+        /// Candidate index in deterministic enumeration order.
+        candidate: usize,
+        /// Minimal session length reaching the target, if reached within
+        /// the candidate's simulation window.
+        length: Option<usize>,
+        /// Coverage the candidate achieves within its window.
+        coverage: f64,
+    },
+    /// A candidate became the new incumbent (shorter session reaching the
+    /// target).
+    IncumbentImproved {
+        /// Block under test.
+        block: &'a str,
+        /// Candidate index of the new incumbent.
+        candidate: usize,
+        /// The incumbent's session length.
+        length: usize,
+    },
+}
+
+/// Optimizes the two-session plan of a synthesised pipeline controller:
+/// searches seed/polynomial candidates and the per-session length split for
+/// the shortest plan reaching `options.target` coverage in both sessions.
+///
+/// `jobs` parallelises each candidate's fault simulation over deterministic
+/// fault chunks — the result is byte-identical for any worker count.
+///
+/// # Panics
+///
+/// Panics if `options.target` is outside `(0, 1]` or
+/// `options.max_total_length` is zero.
+#[must_use]
+pub fn optimize_plan(
+    pipeline: &PipelineLogic,
+    options: &OptimizeOptions,
+    jobs: usize,
+) -> PlanOptimization {
+    optimize_plan_with(pipeline, options, jobs, &mut |_| {})
+}
+
+/// [`optimize_plan`] with a progress callback receiving one
+/// [`OptimizeProgress`] per candidate evaluation and incumbent improvement.
+/// The callback is a side channel: the returned plan does not depend on it.
+///
+/// # Panics
+///
+/// See [`optimize_plan`].
+#[must_use]
+pub fn optimize_plan_with(
+    pipeline: &PipelineLogic,
+    options: &OptimizeOptions,
+    jobs: usize,
+    progress: &mut dyn FnMut(&OptimizeProgress<'_>),
+) -> PlanOptimization {
+    assert!(
+        options.target > 0.0 && options.target <= 1.0,
+        "coverage target must lie in (0, 1]"
+    );
+    assert!(
+        options.max_total_length > 0,
+        "the length budget must be at least 1 pattern"
+    );
+    PlanOptimization {
+        session1: optimize_block("C1", &pipeline.c1.netlist, options, jobs, progress),
+        session2: optimize_block("C2", &pipeline.c2.netlist, options, jobs, progress),
+        target: options.target,
+        max_total_length: options.max_total_length,
+    }
+}
+
+/// Independently re-measures an optimized plan: regenerates each session's
+/// stimuli from the reported `(taps, seed, length)` and fault-simulates
+/// them from scratch.  The result must agree with the plan's own
+/// `detected`/`undetected` fields — the property test below pins this, so
+/// the optimizer cannot report a coverage its plan does not deliver.
+#[must_use]
+pub fn measure_optimized_plan(
+    pipeline: &PipelineLogic,
+    plan: &PlanOptimization,
+    jobs: usize,
+) -> PlanCoverage {
+    PlanCoverage {
+        session1: measure_session(&pipeline.c1.netlist, &plan.session1, jobs),
+        session2: measure_session(&pipeline.c2.netlist, &plan.session2, jobs),
+    }
+}
+
+fn measure_session(block: &Netlist, session: &SessionOptimization, jobs: usize) -> BlockCoverage {
+    let stimuli = session_patterns_from(block, &session.taps, session.seed, session.length);
+    let faults = fault_list(block);
+    let report = simulate_faults_packed(block, &stimuli, &faults, None, jobs);
+    BlockCoverage::from_report(&session.block, report)
+}
+
+/// The deterministic candidate enumeration for one source register: the
+/// tabulated polynomial and its reciprocal, crossed with
+/// [`candidate_seeds`], interleaved so polynomial diversity comes early.
+/// Candidate 0 is always `(PRIMITIVE_TAPS[width], 1)` — the fixed plan.
+fn candidate_sources(width: u32, max_candidates: usize) -> Vec<(Vec<u32>, u64)> {
+    let standard = PRIMITIVE_TAPS[width as usize].to_vec();
+    let reciprocal = reciprocal_taps(&standard, width);
+    let polynomials: Vec<Vec<u32>> = if reciprocal == standard {
+        vec![standard]
+    } else {
+        vec![standard, reciprocal]
+    };
+    let seeds_needed = max_candidates.div_ceil(polynomials.len());
+    let mut candidates = Vec::with_capacity(max_candidates);
+    'fill: for seed in candidate_seeds(width, seeds_needed) {
+        for taps in &polynomials {
+            candidates.push((taps.clone(), seed));
+            if candidates.len() == max_candidates {
+                break 'fill;
+            }
+        }
+    }
+    candidates
+}
+
+/// A deterministic sequence of distinct non-zero seeds for a `width`-bit
+/// register: seed `1` first (the fixed plan), then the top `width` bits of
+/// the golden-ratio (Weyl) sequence — a low-discrepancy spread over the
+/// state space that is a pure function of the index.
+fn candidate_seeds(width: u32, count: usize) -> Vec<u64> {
+    let mask = (1u64 << width) - 1;
+    let count = count.min(mask as usize); // only `mask` distinct non-zero seeds exist
+    let mut seeds = vec![1u64];
+    let mut i = 0u64;
+    while seeds.len() < count && i < 4096 {
+        i += 1;
+        let seed = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - width);
+        if seed != 0 && !seeds.contains(&seed) {
+            seeds.push(seed);
+        }
+    }
+    seeds
+}
+
+/// Searches one session's candidates for the shortest test reaching the
+/// target, or — if none reaches it within the budget — the candidate with
+/// the highest coverage at the full budget.
+fn optimize_block(
+    name: &str,
+    block: &Netlist,
+    options: &OptimizeOptions,
+    jobs: usize,
+    progress: &mut dyn FnMut(&OptimizeProgress<'_>),
+) -> SessionOptimization {
+    let faults = fault_list(block);
+    let total = faults.len();
+    // Smallest detected count satisfying the target (the epsilon absorbs
+    // float slop in `target * total` for exactly representable fractions).
+    let target_count = ((options.target * total as f64) - 1e-9).ceil().max(0.0) as usize;
+    let target_count = target_count.min(total);
+    let width = session_source_width(block);
+    let candidates = candidate_sources(width, options.max_candidates.max(1));
+
+    if target_count == 0 {
+        // Only an empty fault list gets here (any positive target needs at
+        // least one detection when faults exist): zero patterns suffice.
+        let (taps, seed) = candidates[0].clone();
+        return SessionOptimization {
+            block: name.to_string(),
+            taps,
+            seed,
+            length: 0,
+            total_faults: total,
+            detected: 0,
+            undetected: Vec::new(),
+            candidates: 0,
+            target_reached: true,
+        };
+    }
+
+    // The incumbent: best candidate reaching the target, with its profile
+    // kept so the final detected/undetected split needs no re-simulation.
+    let mut incumbent: Option<(usize, usize, Vec<Option<u32>>)> = None; // (candidate, length, profile)
+                                                                        // Fallback while no candidate reaches the target: all such candidates
+                                                                        // ran at the full budget, so their coverage values are comparable.
+    let mut fallback: (usize, usize, Vec<Option<u32>>) = (0, 0, vec![None; total]);
+    let mut evaluated = 0usize;
+
+    for (index, (taps, seed)) in candidates.iter().enumerate() {
+        // Prefix property: a candidate can only improve on the incumbent
+        // within `incumbent_length - 1` patterns, so the simulation window
+        // shrinks as the incumbent improves.
+        let window = match &incumbent {
+            Some((_, length, _)) => length - 1,
+            None => options.max_total_length,
+        };
+        let stimuli = session_patterns_from(block, taps, *seed, window);
+        let profile = detection_profile(block, &stimuli, &faults, jobs);
+        let detected = profile.iter().flatten().count();
+        let needed = needed_length(&profile, target_count);
+        evaluated = index + 1;
+        progress(&OptimizeProgress::CandidateEvaluated {
+            block: name,
+            candidate: index,
+            length: needed,
+            coverage: coverage_fraction(detected, total),
+        });
+        if let Some(length) = needed {
+            debug_assert!(length <= window);
+            progress(&OptimizeProgress::IncumbentImproved {
+                block: name,
+                candidate: index,
+                length,
+            });
+            incumbent = Some((index, length, profile));
+            if length <= 1 {
+                break; // one pattern is the minimum — nothing can improve
+            }
+        } else if incumbent.is_none() && detected > fallback.1 {
+            fallback = (index, detected, profile);
+        }
+    }
+
+    let (winner, length, profile, target_reached) = match incumbent {
+        Some((index, length, profile)) => (index, length, profile, true),
+        None => {
+            let (index, _, profile) = fallback;
+            (index, options.max_total_length, profile, false)
+        }
+    };
+    let detected_within = |first: &Option<u32>| first.is_some_and(|i| (i as usize) < length);
+    let detected = profile.iter().filter(|f| detected_within(f)).count();
+    let undetected = faults
+        .iter()
+        .zip(&profile)
+        .filter(|(_, first)| !detected_within(first))
+        .map(|(fault, _)| *fault)
+        .collect();
+    let (taps, seed) = candidates[winner].clone();
+    SessionOptimization {
+        block: name.to_string(),
+        taps,
+        seed,
+        length,
+        total_faults: total,
+        detected,
+        undetected,
+        candidates: evaluated,
+        target_reached,
+    }
+}
+
+/// For each fault, the index of the first pattern that detects it (`None`
+/// when no pattern does): the PP-SFP word sweep of
+/// [`crate::simulate_faults_packed`] with the fault-dropping point recorded
+/// — the lowest set lane of the first differing word — instead of
+/// discarded.  Deterministic for any `jobs` value (faults are independent;
+/// chunk results are joined in fault-list order).
+fn detection_profile(
+    netlist: &Netlist,
+    patterns: &[Vec<bool>],
+    faults: &[StuckAtFault],
+    jobs: usize,
+) -> Vec<Option<u32>> {
+    let packed = PackedPatterns::pack(netlist.num_inputs(), patterns);
+    let observed: Vec<NodeId> = netlist.outputs().to_vec();
+
+    let mut scratch: Vec<u64> = Vec::new();
+    let mut good: Vec<Vec<u64>> = Vec::with_capacity(packed.num_blocks());
+    for b in 0..packed.num_blocks() {
+        netlist.eval_packed_into(packed.block(b), None, &mut scratch);
+        good.push(observed.iter().map(|&n| scratch[n]).collect());
+    }
+
+    let jobs = jobs.max(1).min(faults.len().max(1));
+    let chunk_len = faults.len().div_ceil(jobs).max(1);
+    let chunks: Vec<&[StuckAtFault]> = faults.chunks(chunk_len).collect();
+    let profile_chunk = |chunk: &[StuckAtFault]| -> Vec<Option<u32>> {
+        let mut scratch: Vec<u64> = Vec::new();
+        chunk
+            .iter()
+            .map(|fault| {
+                for (b, good_words) in good.iter().enumerate() {
+                    netlist.eval_packed_into(
+                        packed.block(b),
+                        Some((fault.node, fault.stuck_at)),
+                        &mut scratch,
+                    );
+                    let mask = packed.lane_mask(b);
+                    let mut differing = 0u64;
+                    for (&n, &g) in observed.iter().zip(good_words) {
+                        differing |= (scratch[n] ^ g) & mask;
+                    }
+                    if differing != 0 {
+                        let lane = differing.trailing_zeros();
+                        return Some((b * PACKED_LANES) as u32 + lane);
+                    }
+                }
+                None
+            })
+            .collect()
+    };
+
+    let results: Vec<Vec<Option<u32>>> = if chunks.len() <= 1 {
+        chunks.iter().map(|c| profile_chunk(c)).collect()
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| scope.spawn(|| profile_chunk(chunk)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fault-chunk worker panicked"))
+                .collect()
+        })
+    };
+    results.into_iter().flatten().collect()
+}
+
+/// The minimal session length whose pattern prefix detects at least
+/// `target_count` faults, from a first-detection profile: the
+/// `target_count`-th smallest detection index, plus one.  `None` when the
+/// profile's window does not detect enough faults at any length.
+fn needed_length(profile: &[Option<u32>], target_count: usize) -> Option<usize> {
+    if target_count == 0 {
+        return Some(0);
+    }
+    let mut indices: Vec<u32> = profile.iter().flatten().copied().collect();
+    if indices.len() < target_count {
+        return None;
+    }
+    let (_, kth, _) = indices.select_nth_unstable(target_count - 1);
+    Some(*kth as usize + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::measure_plan_coverage;
+    use crate::fault::simulate_faults;
+    use stc_encoding::{EncodedPipeline, EncodingStrategy};
+    use stc_fsm::paper_example;
+    use stc_logic::{synthesize_pipeline, SynthOptions};
+    use stc_synth::solve;
+
+    fn example_pipeline() -> PipelineLogic {
+        let m = paper_example();
+        let outcome = solve(&m);
+        let realization = outcome.best.realize(&m);
+        let encoded = EncodedPipeline::new(&m, &realization, EncodingStrategy::Binary);
+        synthesize_pipeline(&encoded, SynthOptions::default())
+    }
+
+    #[test]
+    fn the_optimized_plan_reaches_full_coverage_within_the_fixed_budget() {
+        let pipeline = example_pipeline();
+        let plan = optimize_plan(&pipeline, &OptimizeOptions::default(), 1);
+        assert!(plan.target_reached(), "{plan:?}");
+        assert_eq!(plan.detected(), plan.total_faults());
+        assert_eq!(plan.undetected_faults(), 0);
+        // The fixed plan reaches 100% at 512 total (the cones are 2-bit);
+        // the optimizer must find something no longer.
+        assert!(plan.total_length() <= 512);
+        // 2-bit cones: 4 de Bruijn patterns are exhaustive, so each session
+        // needs at most 4.
+        assert!(plan.session1.length <= 4, "{plan:?}");
+        assert!(plan.session2.length <= 4, "{plan:?}");
+    }
+
+    #[test]
+    fn the_reported_split_survives_an_independent_re_measurement() {
+        let pipeline = example_pipeline();
+        let plan = optimize_plan(&pipeline, &OptimizeOptions::default(), 1);
+        let measured = measure_optimized_plan(&pipeline, &plan, 1);
+        assert_eq!(plan.session1.detected, measured.session1.detected);
+        assert_eq!(plan.session2.detected, measured.session2.detected);
+        assert_eq!(plan.session1.undetected, measured.session1.undetected);
+        assert_eq!(plan.session2.undetected, measured.session2.undetected);
+    }
+
+    #[test]
+    fn candidate_zero_is_the_fixed_plan_source() {
+        for width in [1u32, 2, 5, 16, 24] {
+            let candidates = candidate_sources(width, 8);
+            assert_eq!(candidates[0].0, PRIMITIVE_TAPS[width as usize]);
+            assert_eq!(candidates[0].1, 1);
+        }
+    }
+
+    #[test]
+    fn candidate_enumeration_is_deterministic_distinct_and_bounded() {
+        for width in [1u32, 2, 3, 8, 24] {
+            for max in [1usize, 2, 7, 16] {
+                let a = candidate_sources(width, max);
+                let b = candidate_sources(width, max);
+                assert_eq!(a, b);
+                assert!(a.len() <= max && !a.is_empty());
+                let distinct: std::collections::HashSet<_> = a.iter().collect();
+                assert_eq!(distinct.len(), a.len(), "width {width} max {max}");
+                for (taps, seed) in &a {
+                    assert!(*seed != 0 && *seed < (1u64 << width));
+                    // Every candidate's source must be constructible.
+                    let _ = crate::Lfsr::de_bruijn_with_taps(width, taps, *seed);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn width_one_has_a_single_polynomial() {
+        // x + 1 is self-reciprocal: candidates must not duplicate it.
+        let candidates = candidate_sources(1, 8);
+        assert_eq!(candidates.len(), 1, "{candidates:?}");
+    }
+
+    #[test]
+    fn needed_length_is_the_order_statistic_plus_one() {
+        let profile = vec![Some(7u32), None, Some(2), Some(2), Some(30)];
+        assert_eq!(needed_length(&profile, 1), Some(3));
+        assert_eq!(needed_length(&profile, 2), Some(3));
+        assert_eq!(needed_length(&profile, 3), Some(8));
+        assert_eq!(needed_length(&profile, 4), Some(31));
+        assert_eq!(needed_length(&profile, 5), None);
+        assert_eq!(needed_length(&profile, 0), Some(0));
+    }
+
+    #[test]
+    fn detection_profile_agrees_with_the_scalar_reference_prefixwise() {
+        let pipeline = example_pipeline();
+        let block = &pipeline.c1.netlist;
+        let faults = fault_list(block);
+        let stimuli = crate::session_patterns(block, 12);
+        let profile = detection_profile(block, &stimuli, &faults, 1);
+        for jobs in [2, 5, 64] {
+            assert_eq!(profile, detection_profile(block, &stimuli, &faults, jobs));
+        }
+        // A fault's first-detection index is the shortest prefix whose
+        // scalar simulation detects it.
+        for (fault, first) in faults.iter().zip(&profile) {
+            for length in 0..=stimuli.len() {
+                let report = simulate_faults(block, &stimuli[..length], &[*fault], None);
+                let detected_scalar = report.detected == 1;
+                let detected_profile = first.is_some_and(|i| (i as usize) < length);
+                assert_eq!(detected_scalar, detected_profile, "{fault:?} at {length}");
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_identical_across_worker_counts() {
+        let pipeline = example_pipeline();
+        let serial = optimize_plan(&pipeline, &OptimizeOptions::default(), 1);
+        for jobs in [2, 4, 16] {
+            assert_eq!(
+                serial,
+                optimize_plan(&pipeline, &OptimizeOptions::default(), jobs)
+            );
+        }
+    }
+
+    #[test]
+    fn an_unreachable_budget_reports_the_best_effort_and_its_undetected_faults() {
+        let pipeline = example_pipeline();
+        let options = OptimizeOptions {
+            target: 1.0,
+            max_candidates: 4,
+            max_total_length: 1, // one pattern total cannot cover everything
+        };
+        let plan = optimize_plan(&pipeline, &options, 1);
+        assert!(!plan.target_reached());
+        let short = [&plan.session1, &plan.session2]
+            .iter()
+            .any(|s| !s.target_reached);
+        assert!(short, "{plan:?}");
+        for session in [&plan.session1, &plan.session2] {
+            if !session.target_reached {
+                assert_eq!(session.length, 1);
+                assert!(!session.undetected.is_empty());
+                assert_eq!(
+                    session.detected + session.undetected.len(),
+                    session.total_faults
+                );
+            }
+        }
+        // The report's split still survives re-measurement.
+        let measured = measure_optimized_plan(&pipeline, &plan, 1);
+        assert_eq!(plan.session1.detected, measured.session1.detected);
+        assert_eq!(plan.session2.detected, measured.session2.detected);
+    }
+
+    #[test]
+    fn a_partial_target_needs_fewer_patterns_than_full_coverage() {
+        let pipeline = example_pipeline();
+        let full = optimize_plan(&pipeline, &OptimizeOptions::default(), 1);
+        let partial = optimize_plan(
+            &pipeline,
+            &OptimizeOptions {
+                target: 0.5,
+                ..OptimizeOptions::default()
+            },
+            1,
+        );
+        assert!(partial.target_reached());
+        assert!(partial.total_length() <= full.total_length());
+        assert!(partial.coverage() >= 0.5);
+    }
+
+    #[test]
+    fn progress_events_fire_and_do_not_change_the_result() {
+        let pipeline = example_pipeline();
+        let mut events = Vec::new();
+        let with = optimize_plan_with(&pipeline, &OptimizeOptions::default(), 1, &mut |p| {
+            events.push(format!("{p:?}"));
+        });
+        let without = optimize_plan(&pipeline, &OptimizeOptions::default(), 1);
+        assert_eq!(with, without);
+        assert!(
+            events.iter().any(|e| e.contains("CandidateEvaluated")),
+            "{events:?}"
+        );
+        assert!(
+            events.iter().any(|e| e.contains("IncumbentImproved")),
+            "{events:?}"
+        );
+        // Candidate 0 is the fixed plan and the example reaches the target,
+        // so the very first evaluation produces an incumbent.
+        assert!(events[0].contains("CandidateEvaluated"));
+        assert!(events[1].contains("IncumbentImproved"));
+    }
+
+    #[test]
+    fn the_optimized_plan_is_never_longer_than_the_fixed_plan_needs() {
+        // On the worked example the fixed 256-per-session plan measures
+        // 100%: the optimizer starts from that very source, so its total
+        // must be at most what the fixed source needs.
+        let pipeline = example_pipeline();
+        let fixed = measure_plan_coverage(&pipeline, 256, 1);
+        assert_eq!(fixed.undetected_faults(), 0, "precondition");
+        let plan = optimize_plan(&pipeline, &OptimizeOptions::default(), 1);
+        assert!(plan.target_reached());
+        assert!(plan.total_length() <= 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "target")]
+    fn a_zero_target_is_rejected() {
+        let pipeline = example_pipeline();
+        let _ = optimize_plan(
+            &pipeline,
+            &OptimizeOptions {
+                target: 0.0,
+                ..OptimizeOptions::default()
+            },
+            1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn a_zero_budget_is_rejected() {
+        let pipeline = example_pipeline();
+        let _ = optimize_plan(
+            &pipeline,
+            &OptimizeOptions {
+                max_total_length: 0,
+                ..OptimizeOptions::default()
+            },
+            1,
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use stc_logic::{Cover, Cube, Literal, SynthesizedBlock};
+
+    fn arb_cover(num_vars: usize, max_cubes: usize) -> impl Strategy<Value = Cover> {
+        proptest::collection::vec(proptest::collection::vec(0u8..3, num_vars), 0..=max_cubes)
+            .prop_map(move |cubes| {
+                Cover::from_cubes(
+                    num_vars,
+                    cubes
+                        .into_iter()
+                        .map(|lits| {
+                            Cube::from_literals(
+                                lits.into_iter()
+                                    .map(|l| match l {
+                                        0 => Literal::Zero,
+                                        1 => Literal::One,
+                                        _ => Literal::DontCare,
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                )
+            })
+    }
+
+    /// A pipeline with two independent random blocks — the shape
+    /// [`optimize_plan`] consumes; the output block and register widths are
+    /// irrelevant to the per-block search.
+    fn pipeline_of(c1: Vec<Cover>, c2: Vec<Cover>) -> PipelineLogic {
+        let block = |name: &str, covers: Vec<Cover>| SynthesizedBlock {
+            name: name.to_string(),
+            num_inputs: 4,
+            netlist: stc_logic::Netlist::from_covers(4, &covers),
+            covers,
+        };
+        PipelineLogic {
+            c1: block("C1", c1),
+            c2: block("C2", c2),
+            output: block("lambda", Vec::new()),
+            input_bits: 2,
+            r1_bits: 2,
+            r2_bits: 2,
+            output_bits: 0,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The tentpole's integrity property: whatever plan the optimizer
+        /// reports, regenerating its stimuli and fault-simulating them from
+        /// scratch reproduces the reported detected/undetected split and
+        /// coverage exactly.
+        #[test]
+        fn reported_coverage_equals_an_independent_re_measurement(
+            c1 in proptest::collection::vec(arb_cover(4, 3), 1..=2),
+            c2 in proptest::collection::vec(arb_cover(4, 3), 1..=2),
+            target in (3u32..=10).prop_map(|tenths| f64::from(tenths) / 10.0),
+            max_candidates in 1usize..6,
+            max_total_length in 1usize..40,
+            jobs in 1usize..4,
+        ) {
+            let pipeline = pipeline_of(c1, c2);
+            let options = OptimizeOptions { target, max_candidates, max_total_length };
+            let plan = optimize_plan(&pipeline, &options, jobs);
+            let measured = measure_optimized_plan(&pipeline, &plan, 1);
+            for (session, check) in [
+                (&plan.session1, &measured.session1),
+                (&plan.session2, &measured.session2),
+            ] {
+                prop_assert_eq!(session.total_faults, check.total_faults);
+                prop_assert_eq!(session.detected, check.detected);
+                prop_assert_eq!(&session.undetected, &check.undetected);
+                prop_assert!((session.coverage() - check.coverage()).abs() < 1e-12);
+                if session.target_reached && session.total_faults > 0 {
+                    prop_assert!(session.coverage() + 1e-12 >= target);
+                    // Minimality at the chosen source: one pattern fewer
+                    // must miss the target.
+                    if session.length > 0 {
+                        let shorter = SessionOptimization { length: session.length - 1, ..session.clone() };
+                        let shorter_cov = measure_session(
+                            if session.block == "C1" { &pipeline.c1.netlist } else { &pipeline.c2.netlist },
+                            &shorter,
+                            1,
+                        );
+                        prop_assert!(shorter_cov.coverage() + 1e-12 < target);
+                    }
+                }
+            }
+            prop_assert_eq!(plan.total_length(), plan.session1.length + plan.session2.length);
+        }
+    }
+}

@@ -101,8 +101,43 @@ pub fn pipeline_self_test(pipeline: &PipelineLogic, patterns_per_session: usize)
 /// unrelated pattern set.
 #[must_use]
 pub fn session_patterns(block: &Netlist, patterns: usize) -> Vec<Vec<bool>> {
-    let source_width = (block.num_inputs() as u32).clamp(1, 24);
-    let mut source = Lfsr::de_bruijn(source_width, 0b1);
+    let width = session_source_width(block);
+    session_patterns_from(
+        block,
+        crate::lfsr::PRIMITIVE_TAPS[width as usize],
+        0b1,
+        patterns,
+    )
+}
+
+/// The width of the combined de Bruijn pattern source a session uses for
+/// `block`: the block's input cone, clamped to the tabulated polynomial
+/// range `1..=24`.  This is the register the plan optimizer picks seeds and
+/// feedback polynomials for.
+#[must_use]
+pub fn session_source_width(block: &Netlist) -> u32 {
+    (block.num_inputs() as u32).clamp(1, 24)
+}
+
+/// [`session_patterns`] with an explicit de Bruijn source: feedback `taps`
+/// and `seed` for the [`session_source_width`]-wide generating register.
+/// The default plan is `session_patterns_from(block,
+/// PRIMITIVE_TAPS[width], 0b1, n)`; the plan optimizer
+/// ([`crate::optimize_plan`]) searches over the taps/seed choice.
+///
+/// # Panics
+///
+/// Panics if a tap is out of range for the source width or the seed is zero
+/// (see [`Lfsr::new`]).
+#[must_use]
+pub fn session_patterns_from(
+    block: &Netlist,
+    taps: &[u32],
+    seed: u64,
+    patterns: usize,
+) -> Vec<Vec<bool>> {
+    let source_width = session_source_width(block);
+    let mut source = Lfsr::de_bruijn_with_taps(source_width, taps, seed);
     // Blocks with an input cone wider than the tabulated polynomials get
     // the excess bits from a free-running auxiliary LFSR (pseudo-random
     // rather than exhaustive — such cones are too wide to exhaust anyway).
@@ -211,6 +246,22 @@ mod tests {
             let report = crate::fault::simulate_faults(netlist, &patterns, &faults, None);
             assert_eq!(session.total_faults, report.total_faults);
             assert!(session.detected_faults <= report.detected);
+        }
+    }
+
+    #[test]
+    fn the_default_plan_is_the_tabulated_taps_with_seed_one() {
+        // `session_patterns` must stay a thin alias of the generalised
+        // source — the optimizer's first candidate IS the default plan, so
+        // its baseline comparison would silently break if these diverged.
+        let pipeline = example_pipeline();
+        for block in [&pipeline.c1.netlist, &pipeline.c2.netlist] {
+            let width = session_source_width(block);
+            let taps = crate::lfsr::PRIMITIVE_TAPS[width as usize];
+            assert_eq!(
+                session_patterns(block, 40),
+                session_patterns_from(block, taps, 0b1, 40)
+            );
         }
     }
 

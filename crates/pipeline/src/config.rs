@@ -76,6 +76,22 @@ pub const CONFIG_KEYS: &[(&str, &str)] = &[
         "cap on patterns per session for the coverage measurement (0 = plan budget)",
     ),
     (
+        "coverage.optimize.enabled",
+        "true/false — search seeds/polynomials/lengths for the shortest plan reaching the target",
+    ),
+    (
+        "coverage.optimize.target",
+        "coverage target of the plan optimizer, a fraction in (0, 1]",
+    ),
+    (
+        "coverage.optimize.max_candidates",
+        "candidate pattern sources the optimizer evaluates per session",
+    ),
+    (
+        "coverage.optimize.max_total_length",
+        "total-pattern budget of the optimized plan (0 = 2 x bist.patterns)",
+    ),
+    (
         "analysis.enabled",
         "true/false — run static FSM/netlist lints and SCOAP testability analysis",
     ),
@@ -219,6 +235,30 @@ impl StcConfig {
             }
             "coverage.enabled" => p.coverage.enabled = parse_bool(key, value)?,
             "coverage.max_patterns" => p.coverage.max_patterns = parse(key, value)?,
+            "coverage.optimize.enabled" => p.optimize.enabled = parse_bool(key, value)?,
+            "coverage.optimize.target" => {
+                let target: f64 = parse(key, value)?;
+                if !(target > 0.0 && target <= 1.0) {
+                    return Err(ConfigError {
+                        key: key.to_string(),
+                        message: format!("target '{value}' must lie in (0, 1]"),
+                    });
+                }
+                p.optimize.target = target;
+            }
+            "coverage.optimize.max_candidates" => {
+                let candidates: usize = parse(key, value)?;
+                if candidates == 0 {
+                    return Err(ConfigError {
+                        key: key.to_string(),
+                        message: "at least one candidate is required".to_string(),
+                    });
+                }
+                p.optimize.max_candidates = candidates;
+            }
+            "coverage.optimize.max_total_length" => {
+                p.optimize.max_total_length = parse(key, value)?;
+            }
             "analysis.enabled" => self.analysis.enabled = parse_bool(key, value)?,
             "analysis.deny" => {
                 let mut deny: Vec<String> = Vec::new();
@@ -342,6 +382,7 @@ mod tests {
             let value = match *key {
                 "encoding" => "binary",
                 "analysis.deny" => "net-cycle, kiss2-syntax",
+                "coverage.optimize.target" => "0.95",
                 k if k.contains("pruning")
                     || k.contains("bound")
                     || k.contains("minimize")
@@ -354,6 +395,31 @@ mod tests {
             config.set(key, value).unwrap_or_else(|e| {
                 panic!("documented key '{key}' rejected: {e}");
             });
+        }
+    }
+
+    #[test]
+    fn optimize_keys_are_validated() {
+        let mut config = StcConfig::default();
+        assert!(!config.pipeline.optimize.enabled);
+        config.set("coverage.optimize.enabled", "true").unwrap();
+        config.set("coverage.optimize.target", "0.97").unwrap();
+        config.set("coverage.optimize.max_candidates", "8").unwrap();
+        config
+            .set("coverage.optimize.max_total_length", "64")
+            .unwrap();
+        assert!(config.pipeline.optimize.enabled);
+        assert!((config.pipeline.optimize.target - 0.97).abs() < 1e-12);
+        assert_eq!(config.pipeline.optimize.max_candidates, 8);
+        assert_eq!(config.pipeline.optimize.max_total_length, 64);
+        for (key, bad) in [
+            ("coverage.optimize.target", "0"),
+            ("coverage.optimize.target", "1.5"),
+            ("coverage.optimize.target", "-0.2"),
+            ("coverage.optimize.max_candidates", "0"),
+        ] {
+            let err = config.set(key, bad).unwrap_err();
+            assert!(err.to_string().contains(key), "{err}");
         }
     }
 

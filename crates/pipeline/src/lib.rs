@@ -73,17 +73,20 @@ pub use metrics::{ServeMetrics, StageTimer};
 pub use net::{NetOptions, NetServer, ServerHandle};
 pub use observe::{CancelFlag, Event, NullObserver, Observer};
 pub use report::{
-    coverage_json, format_summary_table, lint_json, search_stats_json, AnalysisReport, BistReport,
-    ConfigEcho, LogicReport, MachineReport, MachineStatus, SessionReport, SolveReport, SuiteReport,
-    SuiteSummary, REPORT_SCHEMA_VERSION,
+    coverage_json, format_summary_table, lint_json, optimize_json, search_stats_json,
+    AnalysisReport, BistReport, ConfigEcho, LogicReport, MachineReport, MachineStatus,
+    OptimizeReport, OptimizeSessionReport, SessionReport, SolveReport, SuiteReport, SuiteSummary,
+    TestPointSuggestion, REPORT_SCHEMA_VERSION,
 };
 #[allow(deprecated)]
 pub use runner::{run_corpus, run_machine};
-pub use runner::{CoverageConfig, GateLevelLimits, MachineTiming, PipelineConfig, SuiteRun};
+pub use runner::{
+    CoverageConfig, GateLevelLimits, MachineTiming, OptimizeConfig, PipelineConfig, SuiteRun,
+};
 pub use serve::{serve, serve_with, ServeOptions, ServeStats};
 pub use session::{
-    stage_names, BistPlan, CoverageReport, Decomposition, Encoded, Netlist, SessionError,
-    Synthesis, SynthesisBuilder,
+    stage_names, BistPlan, CoverageReport, Decomposition, Encoded, Netlist, OptimizedPlan,
+    SessionError, Synthesis, SynthesisBuilder,
 };
 
 #[allow(deprecated)]

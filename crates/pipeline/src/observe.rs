@@ -57,6 +57,33 @@ pub enum Event<'a> {
         /// Machine name.
         machine: &'a str,
     },
+    /// The plan optimizer evaluated one candidate pattern source
+    /// ([`crate::Synthesis::optimize_plan`]).
+    OptimizeCandidate {
+        /// Machine name.
+        machine: &'a str,
+        /// Block under test (`C1` or `C2`).
+        block: &'a str,
+        /// Candidate index in the deterministic enumeration order.
+        candidate: usize,
+        /// Minimal session length reaching the coverage target, when the
+        /// candidate reached it within its simulation window.
+        length: Option<usize>,
+        /// Coverage the candidate achieved within its window.
+        coverage: f64,
+    },
+    /// A candidate became the plan optimizer's new incumbent — the shortest
+    /// session so far to reach the coverage target.
+    OptimizeIncumbent {
+        /// Machine name.
+        machine: &'a str,
+        /// Block under test (`C1` or `C2`).
+        block: &'a str,
+        /// Candidate index of the new incumbent.
+        candidate: usize,
+        /// The incumbent's session length.
+        length: usize,
+    },
     /// A machine's flow finished (any status, including errors/timeouts).
     MachineFinished {
         /// Machine name.
@@ -77,6 +104,8 @@ impl Event<'_> {
             | Event::SolverProgress { machine, .. }
             | Event::IncumbentImproved { machine, .. }
             | Event::BudgetExhausted { machine }
+            | Event::OptimizeCandidate { machine, .. }
+            | Event::OptimizeIncumbent { machine, .. }
             | Event::MachineFinished { machine, .. } => machine,
         }
     }
@@ -205,6 +234,19 @@ mod tests {
                 register_bits: 3,
             },
             Event::BudgetExhausted { machine: "a" },
+            Event::OptimizeCandidate {
+                machine: "a",
+                block: "C1",
+                candidate: 0,
+                length: Some(4),
+                coverage: 1.0,
+            },
+            Event::OptimizeIncumbent {
+                machine: "a",
+                block: "C1",
+                candidate: 0,
+                length: 4,
+            },
             Event::MachineFinished {
                 machine: "a",
                 status: "full",

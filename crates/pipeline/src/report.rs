@@ -22,7 +22,9 @@ use stc_fsm::benchmarks::{PaperTable1Row, PaperTable2Row};
 /// keep the original v2 byte layout.  Likewise additive: the per-machine
 /// `analysis` section and the `config.analysis_enabled` /
 /// `config.analysis_deny` echo appear only when the static-analysis stage
-/// is enabled.
+/// is enabled, and the per-machine `optimize` section and the
+/// `config.optimize_*` echo appear only when the plan-optimization stage is
+/// enabled.
 pub const REPORT_SCHEMA_VERSION: u64 = 2;
 
 /// How far a machine travelled through the pipeline.
@@ -138,6 +140,71 @@ pub struct BistReport {
     pub undetected_faults: Option<usize>,
 }
 
+/// One optimized self-test session (one block under test) of the plan
+/// optimizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptimizeSessionReport {
+    /// Block under test (`C1` or `C2`).
+    pub block: String,
+    /// Feedback taps of the winning de Bruijn pattern source.
+    pub taps: Vec<u32>,
+    /// Seed of the winning source.
+    pub seed: u64,
+    /// Patterns the optimized session applies.
+    pub length: usize,
+    /// Single-stuck-at faults of the block.
+    pub total_faults: usize,
+    /// Faults the optimized session detects.
+    pub detected: usize,
+    /// Candidate pattern sources evaluated before the search terminated.
+    pub candidates: usize,
+    /// Whether the session reaches the coverage target within the budget.
+    pub target_reached: bool,
+}
+
+/// A test-point suggestion for a fault the optimized plan cannot detect,
+/// ranked by SCOAP fault difficulty (hardest first) — the concrete
+/// design-for-test advice the report gives when full coverage is
+/// unreachable within the budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestPointSuggestion {
+    /// Block the undetected fault lives in (`C1` or `C2`).
+    pub block: String,
+    /// Netlist node of the fault site.
+    pub node: usize,
+    /// The undetected stuck-at value.
+    pub stuck_at: bool,
+    /// SCOAP fault difficulty `CC(¬v) + CO` of the site — the cost of
+    /// provoking and observing the fault, justifying a control/observe
+    /// point there.
+    pub score: u32,
+}
+
+/// Results of the coverage-driven plan optimization for one machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeReport {
+    /// Session 1 (`C1` under test).
+    pub session1: OptimizeSessionReport,
+    /// Session 2 (`C2` under test).
+    pub session2: OptimizeSessionReport,
+    /// The coverage target the search ran against.
+    pub target: f64,
+    /// The effective total-length budget the search ran against.
+    pub max_total_length: usize,
+    /// Total test length of the optimized plan (both sessions).
+    pub total_length: usize,
+    /// The fixed plan's total test length (`2 × patterns_per_session`),
+    /// for the economics comparison the optimizer exists to win.
+    pub baseline_length: usize,
+    /// Coverage of the optimized plan over both blocks.
+    pub coverage: f64,
+    /// Whether both sessions reach the target within the total budget.
+    pub target_reached: bool,
+    /// Test-point suggestions for the undetected faults, ranked by SCOAP
+    /// difficulty (hardest first).  Empty when the target was reached.
+    pub test_points: Vec<TestPointSuggestion>,
+}
+
 /// Results of the static-analysis stage for one machine.
 ///
 /// Severities are *effective*: codes named by `analysis.deny` have already
@@ -191,6 +258,10 @@ pub struct MachineReport {
     pub logic: Option<LogicReport>,
     /// BIST results (machines within the gate-level limits only).
     pub bist: Option<BistReport>,
+    /// Plan-optimization results.  `None` when the optimize stage is
+    /// disabled — the section is then absent from the JSON, keeping
+    /// optimizer-free reports byte-identical.
+    pub optimize: Option<OptimizeReport>,
     /// Static-analysis results.  `None` when the analysis stage is disabled
     /// — the section is then absent from the JSON, keeping analysis-free
     /// reports byte-identical.
@@ -250,6 +321,17 @@ pub struct ConfigEcho {
     pub coverage_enabled: bool,
     /// Pattern cap of the coverage measurement (`0` = the plan budget).
     pub coverage_max_patterns: usize,
+    /// Whether the plan-optimization stage ran.  Echoed into the JSON
+    /// (along with the three optimizer knobs) only when `true` — same
+    /// additive contract as the coverage echo.
+    pub optimize_enabled: bool,
+    /// Coverage target of the plan optimizer.
+    pub optimize_target: f64,
+    /// Candidate pattern sources per session.
+    pub optimize_max_candidates: usize,
+    /// Total-pattern budget of the optimized plan (`0` = `2 ×
+    /// patterns_per_session`).
+    pub optimize_max_total_length: usize,
     /// Whether the static-analysis stage ran.  Echoed into the JSON (along
     /// with `analysis_deny`) only when `true` — same additive contract as
     /// the coverage echo.
@@ -350,6 +432,18 @@ fn config_json(c: &ConfigEcho) -> Json {
             Json::from_usize(c.coverage_max_patterns),
         ));
     }
+    if c.optimize_enabled {
+        entries.push(("optimize_enabled".into(), Json::Bool(true)));
+        entries.push(("optimize_target".into(), Json::Number(c.optimize_target)));
+        entries.push((
+            "optimize_max_candidates".into(),
+            Json::from_usize(c.optimize_max_candidates),
+        ));
+        entries.push((
+            "optimize_max_total_length".into(),
+            Json::from_usize(c.optimize_max_total_length),
+        ));
+    }
     if c.analysis_enabled {
         entries.push(("analysis_enabled".into(), Json::Bool(true)));
         entries.push((
@@ -392,8 +486,12 @@ fn machine_json(m: &MachineReport) -> Json {
         m.logic.as_ref().map_or(Json::Null, logic_json),
     ));
     entries.push(("bist".into(), m.bist.as_ref().map_or(Json::Null, bist_json)));
-    // The analysis section is additive: absent (not null) when the stage is
-    // off, so analysis-free goldens stay byte-identical.
+    // The optimize and analysis sections are additive: absent (not null)
+    // when their stages are off, so pre-existing goldens stay
+    // byte-identical.
+    if let Some(optimize) = &m.optimize {
+        entries.push(("optimize".into(), optimize_report_json(optimize)));
+    }
     if let Some(analysis) = &m.analysis {
         entries.push(("analysis".into(), analysis_json(analysis)));
     }
@@ -576,6 +674,59 @@ fn bist_json(b: &BistReport) -> Json {
     Json::Object(entries)
 }
 
+fn optimize_session_json(s: &OptimizeSessionReport) -> Json {
+    Json::Object(vec![
+        ("block".into(), Json::String(s.block.clone())),
+        (
+            "taps".into(),
+            Json::Array(
+                s.taps
+                    .iter()
+                    .map(|&t| Json::from_u64(u64::from(t)))
+                    .collect(),
+            ),
+        ),
+        ("seed".into(), Json::from_u64(s.seed)),
+        ("length".into(), Json::from_usize(s.length)),
+        ("total_faults".into(), Json::from_usize(s.total_faults)),
+        ("detected".into(), Json::from_usize(s.detected)),
+        ("candidates".into(), Json::from_usize(s.candidates)),
+        ("target_reached".into(), Json::Bool(s.target_reached)),
+    ])
+}
+
+fn test_point_json(t: &TestPointSuggestion) -> Json {
+    Json::Object(vec![
+        ("block".into(), Json::String(t.block.clone())),
+        ("node".into(), Json::from_usize(t.node)),
+        ("stuck_at".into(), Json::Bool(t.stuck_at)),
+        ("score".into(), Json::from_u64(u64::from(t.score))),
+    ])
+}
+
+fn optimize_report_json(o: &OptimizeReport) -> Json {
+    Json::Object(vec![
+        ("session1".into(), optimize_session_json(&o.session1)),
+        ("session2".into(), optimize_session_json(&o.session2)),
+        ("target".into(), Json::Number(o.target)),
+        (
+            "max_total_length".into(),
+            Json::from_usize(o.max_total_length),
+        ),
+        ("total_length".into(), Json::from_usize(o.total_length)),
+        (
+            "baseline_length".into(),
+            Json::from_usize(o.baseline_length),
+        ),
+        ("coverage".into(), Json::Number(o.coverage)),
+        ("target_reached".into(), Json::Bool(o.target_reached)),
+        (
+            "test_points".into(),
+            Json::Array(o.test_points.iter().map(test_point_json).collect()),
+        ),
+    ])
+}
+
 fn summary_json(s: &SuiteSummary) -> Json {
     let mut entries = vec![
         ("machines".into(), Json::from_usize(s.machines)),
@@ -683,6 +834,44 @@ pub fn coverage_json(report: &SuiteReport) -> Json {
                     ));
                 }
                 _ => entries.push(("coverage".into(), Json::Null)),
+            }
+            Json::Object(entries)
+        })
+        .collect();
+    Json::Object(vec![
+        (
+            "schema_version".into(),
+            Json::from_u64(REPORT_SCHEMA_VERSION),
+        ),
+        ("suite".into(), Json::String(report.suite.clone())),
+        ("machines".into(), Json::Array(machines)),
+    ])
+}
+
+/// Extracts the per-machine plan-optimization results of a suite report as
+/// a compact, deterministic JSON document — the focused artefact
+/// `stc optimize` emits and the CI `optimize-gate` diffs against
+/// `tests/golden/optimize.json`.
+///
+/// Machines without an optimize section (gate-level stages skipped, timed
+/// out, or the stage disabled) are reported with a `null` entry so a
+/// disappearing machine also fails a diff against this document.
+#[must_use]
+pub fn optimize_json(report: &SuiteReport) -> Json {
+    let machines: Vec<Json> = report
+        .machines
+        .iter()
+        .map(|m| {
+            let mut entries = vec![
+                ("name".into(), Json::String(m.name.clone())),
+                (
+                    "status".into(),
+                    Json::String(m.status.as_json_str().to_string()),
+                ),
+            ];
+            match &m.optimize {
+                Some(o) => entries.push(("optimize".into(), optimize_report_json(o))),
+                None => entries.push(("optimize".into(), Json::Null)),
             }
             Json::Object(entries)
         })

@@ -69,6 +69,50 @@ impl CoverageConfig {
     }
 }
 
+/// Configuration of the coverage-driven BIST plan optimization (the
+/// `optimize` stage).  Disabled by default: with `enabled == false` no
+/// optimize stage runs and reports are byte-identical to pre-optimizer
+/// reports, so existing golden files are unaffected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizeConfig {
+    /// Whether to search LFSR seed/polynomial candidates and the
+    /// per-session length split for the shortest plan reaching the target
+    /// coverage.
+    pub enabled: bool,
+    /// Coverage each session must reach, as a fraction in `(0, 1]`.
+    pub target: f64,
+    /// Candidate pattern sources evaluated per session.
+    pub max_candidates: usize,
+    /// Total-pattern budget for the optimized plan.  `0` (the default)
+    /// means *the fixed plan's budget*: `2 × patterns_per_session`.
+    pub max_total_length: usize,
+}
+
+impl Default for OptimizeConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            target: 1.0,
+            max_candidates: 16,
+            max_total_length: 0,
+        }
+    }
+}
+
+impl OptimizeConfig {
+    /// The effective total-length budget for a plan with the given
+    /// per-session pattern budget (`0` resolves to `2 ×
+    /// patterns_per_session`, floored at one pattern).
+    #[must_use]
+    pub fn resolved_max_total_length(&self, patterns_per_session: usize) -> usize {
+        if self.max_total_length == 0 {
+            (2 * patterns_per_session).max(1)
+        } else {
+            self.max_total_length
+        }
+    }
+}
+
 /// Configuration of a corpus run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipelineConfig {
@@ -86,6 +130,8 @@ pub struct PipelineConfig {
     pub gate_level: GateLevelLimits,
     /// Exact fault-coverage measurement of the BIST plan.
     pub coverage: CoverageConfig,
+    /// Coverage-driven optimization of the BIST plan.
+    pub optimize: OptimizeConfig,
     /// Optional per-machine wall-clock timeout, checked between stages.
     /// `None` (the default) keeps the run fully deterministic.
     pub machine_timeout: Option<Duration>,
@@ -107,6 +153,7 @@ impl Default for PipelineConfig {
             patterns_per_session: 256,
             gate_level: GateLevelLimits::default(),
             coverage: CoverageConfig::default(),
+            optimize: OptimizeConfig::default(),
             machine_timeout: None,
         }
     }

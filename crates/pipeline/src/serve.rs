@@ -526,6 +526,43 @@ mod tests {
     }
 
     #[test]
+    fn per_request_optimize_override_adds_the_optimize_section() {
+        let (responses, stats) = serve_lines(
+            "{\"id\": 1, \"machine\": \"tav\", \"overrides\": \
+             {\"coverage.optimize.enabled\": true, \"coverage.optimize.max_candidates\": \"4\"}}\n\
+             {\"id\": 2, \"machine\": \"tav\"}\n",
+            1,
+        );
+        assert_eq!(stats.errors, 0);
+        for r in &responses {
+            let id = r.get("id").unwrap().as_u64().unwrap();
+            let report = r.get("report").unwrap();
+            let config = r.get("config").unwrap();
+            if id == 1 {
+                let optimize = report.get("optimize").unwrap();
+                assert_eq!(
+                    optimize.get("target_reached"),
+                    Some(&Json::Bool(true)),
+                    "{r:?}"
+                );
+                // tav's cones are small: the optimized plan is strictly
+                // shorter than the fixed two-session baseline.
+                let total = optimize.get("total_length").unwrap().as_u64().unwrap();
+                let baseline = optimize.get("baseline_length").unwrap().as_u64().unwrap();
+                assert!(total < baseline, "{r:?}");
+                assert_eq!(config.get("optimize_enabled"), Some(&Json::Bool(true)));
+                assert_eq!(
+                    config.get("optimize_max_candidates").unwrap().as_u64(),
+                    Some(4)
+                );
+            } else {
+                assert_eq!(report.get("optimize"), None);
+                assert_eq!(config.get("optimize_enabled"), None);
+            }
+        }
+    }
+
+    #[test]
     fn per_request_analysis_override_adds_the_lint_section() {
         let (responses, stats) = serve_lines(
             "{\"id\": 1, \"machine\": \"tav\", \"overrides\": {\"analysis.enabled\": true, \

@@ -29,11 +29,15 @@ use crate::config::StcConfig;
 use crate::corpus::CorpusEntry;
 use crate::observe::{Event, NullObserver, Observer};
 use crate::report::{
-    AnalysisReport, BistReport, LogicReport, MachineReport, MachineStatus, SessionReport,
-    SolveReport, SuiteReport, SuiteSummary,
+    AnalysisReport, BistReport, LogicReport, MachineReport, MachineStatus, OptimizeReport,
+    OptimizeSessionReport, SessionReport, SolveReport, SuiteReport, SuiteSummary,
+    TestPointSuggestion,
 };
 use crate::runner::{GateLevelLimits, MachineTiming, SuiteRun};
-use stc_bist::{measure_plan_coverage, pipeline_self_test, PlanCoverage, SelfTestResult};
+use stc_bist::{
+    measure_plan_coverage, optimize_plan_with, pipeline_self_test, OptimizeOptions,
+    OptimizeProgress, PlanCoverage, PlanOptimization, SelfTestResult, SessionOptimization,
+};
 use stc_encoding::{EncodedPipeline, EncodingStrategy};
 use stc_fsm::{ceil_log2, Mealy};
 use stc_logic::{synthesize_pipeline, PipelineLogic};
@@ -54,6 +58,8 @@ pub mod stage_names {
     pub const BIST: &str = "bist";
     /// The exact fault-coverage measurement stage (optional).
     pub const COVERAGE: &str = "coverage";
+    /// The coverage-driven plan-optimization stage (optional).
+    pub const OPTIMIZE: &str = "optimize";
     /// The static-analysis stage (optional): FSM lints, netlist structure
     /// checks and SCOAP testability metrics.
     pub const ANALYZE: &str = "analyze";
@@ -62,6 +68,11 @@ pub mod stage_names {
 /// Hard-to-test nets reported per block by the analysis stage: enough to
 /// point at the problem spots without bloating the report.
 const HARD_NETS_REPORTED: usize = 5;
+
+/// Test-point suggestions reported by the optimize stage when the coverage
+/// target is unreachable: the SCOAP-hardest undetected fault sites, capped
+/// like the analysis stage's hard-net list.
+const TEST_POINTS_REPORTED: usize = 10;
 
 /// An error surfaced by a typed partial flow.
 ///
@@ -283,6 +294,83 @@ impl CoverageReport {
     }
 }
 
+/// The sixth (optional) typed artifact: the coverage-optimized two-session
+/// plan — the shortest seed/polynomial/length choice the search found that
+/// reaches the coverage target — plus SCOAP-ranked test-point suggestions
+/// for any faults the optimized plan cannot detect.
+#[derive(Debug, Clone)]
+pub struct OptimizedPlan {
+    /// The machine's name.
+    pub name: String,
+    /// The optimization outcome (both sessions, winner sources, lengths).
+    pub result: PlanOptimization,
+    /// The fixed plan's total test length (`2 × patterns_per_session`).
+    pub baseline_length: usize,
+    /// Test-point suggestions for the undetected faults, ranked by SCOAP
+    /// fault difficulty (hardest first; capped).  Empty when the target was
+    /// reached.
+    pub test_points: Vec<TestPointSuggestion>,
+}
+
+impl OptimizedPlan {
+    /// The report section for this artifact.
+    #[must_use]
+    pub fn optimize_report(&self) -> OptimizeReport {
+        OptimizeReport {
+            session1: optimize_session_report(&self.result.session1),
+            session2: optimize_session_report(&self.result.session2),
+            target: self.result.target,
+            max_total_length: self.result.max_total_length,
+            total_length: self.result.total_length(),
+            baseline_length: self.baseline_length,
+            coverage: self.result.coverage(),
+            target_reached: self.result.target_reached(),
+            test_points: self.test_points.clone(),
+        }
+    }
+}
+
+fn optimize_session_report(s: &SessionOptimization) -> OptimizeSessionReport {
+    OptimizeSessionReport {
+        block: s.block.clone(),
+        taps: s.taps.clone(),
+        seed: s.seed,
+        length: s.length,
+        total_faults: s.total_faults,
+        detected: s.detected,
+        candidates: s.candidates,
+        target_reached: s.target_reached,
+    }
+}
+
+/// Ranks the undetected faults of an optimization outcome by SCOAP fault
+/// difficulty (hardest first; node then stuck-at value break ties for a
+/// deterministic order) and keeps the top [`TEST_POINTS_REPORTED`].
+fn rank_test_points(logic: &PipelineLogic, result: &PlanOptimization) -> Vec<TestPointSuggestion> {
+    let mut points = Vec::new();
+    for (session, block) in [(&result.session1, &logic.c1), (&result.session2, &logic.c2)] {
+        if session.undetected.is_empty() {
+            continue;
+        }
+        let scoap = stc_analyze::Scoap::compute(&block.netlist);
+        points.extend(session.undetected.iter().map(|fault| TestPointSuggestion {
+            block: block.name.clone(),
+            node: fault.node,
+            stuck_at: fault.stuck_at,
+            score: scoap.fault_difficulty(fault.node, fault.stuck_at),
+        }));
+    }
+    points.sort_by(|a, b| {
+        b.score
+            .cmp(&a.score)
+            .then_with(|| a.block.cmp(&b.block))
+            .then_with(|| a.node.cmp(&b.node))
+            .then_with(|| a.stuck_at.cmp(&b.stuck_at))
+    });
+    points.truncate(TEST_POINTS_REPORTED);
+    points
+}
+
 fn session_report(s: &stc_bist::SessionResult) -> SessionReport {
     SessionReport {
         block: s.block.clone(),
@@ -428,6 +516,16 @@ impl SynthesisBuilder {
     #[must_use]
     pub fn coverage_max_patterns(mut self, max_patterns: usize) -> Self {
         self.config.pipeline.coverage.max_patterns = max_patterns;
+        self
+    }
+
+    /// Enables or disables the coverage-driven plan optimization
+    /// ([`Synthesis::run`] stage 6; off by default).  The optimizer's knobs
+    /// (`coverage.optimize.target` / `.max_candidates` /
+    /// `.max_total_length`) layer via [`Self::set`].
+    #[must_use]
+    pub fn optimize(mut self, enabled: bool) -> Self {
+        self.config.pipeline.optimize.enabled = enabled;
         self
     }
 
@@ -725,6 +823,78 @@ impl Synthesis {
         }
     }
 
+    /// Resumes a flow from a [`BistPlan`]: searches LFSR seed/polynomial
+    /// candidates and the per-session length split for the shortest plan
+    /// reaching the `coverage.optimize.target` coverage, and ranks any
+    /// remaining undetected faults by SCOAP difficulty as test-point
+    /// suggestions.
+    ///
+    /// Runs regardless of `coverage.optimize.enabled` — the flag only
+    /// controls whether [`Self::run`] performs the optimization
+    /// automatically.  Each candidate's fault simulation is split over the
+    /// session's resolved worker count (byte-identical results for any
+    /// value); progress surfaces as [`Event::OptimizeCandidate`] /
+    /// [`Event::OptimizeIncumbent`].
+    #[must_use]
+    pub fn optimize_plan(&self, plan: &BistPlan) -> OptimizedPlan {
+        self.optimize_plan_with_jobs(plan, self.config.resolve_jobs())
+    }
+
+    /// [`Self::optimize_plan`] with an explicit fault-chunk worker count.
+    /// [`Self::run`] passes 1 for the same reason as the coverage stage:
+    /// corpus runs parallelise over machines already.
+    fn optimize_plan_with_jobs(&self, plan: &BistPlan, jobs: usize) -> OptimizedPlan {
+        self.emit(Event::StageStarted {
+            machine: &plan.name,
+            stage: stage_names::OPTIMIZE,
+        });
+        let config = &self.config.pipeline;
+        let options = OptimizeOptions {
+            target: config.optimize.target,
+            max_candidates: config.optimize.max_candidates,
+            max_total_length: config
+                .optimize
+                .resolved_max_total_length(config.patterns_per_session),
+        };
+        let result = optimize_plan_with(plan.logic.as_ref(), &options, jobs, &mut |progress| {
+            self.emit(match progress {
+                OptimizeProgress::CandidateEvaluated {
+                    block,
+                    candidate,
+                    length,
+                    coverage,
+                } => Event::OptimizeCandidate {
+                    machine: &plan.name,
+                    block,
+                    candidate: *candidate,
+                    length: *length,
+                    coverage: *coverage,
+                },
+                OptimizeProgress::IncumbentImproved {
+                    block,
+                    candidate,
+                    length,
+                } => Event::OptimizeIncumbent {
+                    machine: &plan.name,
+                    block,
+                    candidate: *candidate,
+                    length: *length,
+                },
+            });
+        });
+        let test_points = rank_test_points(plan.logic.as_ref(), &result);
+        self.emit(Event::StageFinished {
+            machine: &plan.name,
+            stage: stage_names::OPTIMIZE,
+        });
+        OptimizedPlan {
+            name: plan.name.clone(),
+            result,
+            baseline_length: 2 * config.patterns_per_session,
+            test_points,
+        }
+    }
+
     /// Runs the machine-level static lints (unreachable states, mergeable
     /// states, input-column findings) with the session's `analysis.deny`
     /// list applied.
@@ -803,6 +973,7 @@ impl Synthesis {
             paper_table2: entry.table2,
             logic: None,
             bist: None,
+            optimize: None,
             analysis: None,
         };
         let finish = |mut report: MachineReport, status: MachineStatus| {
@@ -918,6 +1089,21 @@ impl Synthesis {
                 return finish(report, MachineStatus::TimedOut);
             }
         }
+
+        // Stage 6 (optional): coverage-driven plan optimization.  Serial
+        // fault-chunk workers for the same reason as the coverage stage,
+        // and its own stage-deadline window.
+        if config.optimize.enabled {
+            if self.observer.should_cancel() {
+                return finish(report, MachineStatus::Cancelled);
+            }
+            let stage = self.stage_deadline();
+            let optimized = self.optimize_plan_with_jobs(&plan, 1);
+            report.optimize = Some(optimized.optimize_report());
+            if past(stage) {
+                return finish(report, MachineStatus::TimedOut);
+            }
+        }
         finish(report, MachineStatus::Full)
     }
 
@@ -963,6 +1149,7 @@ impl Synthesis {
                         paper_table2: entry.table2,
                         logic: None,
                         bist: None,
+                        optimize: None,
                         analysis: None,
                     },
                     Duration::ZERO,
@@ -1059,6 +1246,10 @@ pub(crate) fn echo_config(config: &StcConfig) -> crate::report::ConfigEcho {
         gate_level_max_inputs: p.gate_level.max_inputs,
         coverage_enabled: p.coverage.enabled,
         coverage_max_patterns: p.coverage.max_patterns,
+        optimize_enabled: p.optimize.enabled,
+        optimize_target: p.optimize.target,
+        optimize_max_candidates: p.optimize.max_candidates,
+        optimize_max_total_length: p.optimize.max_total_length,
         analysis_enabled: config.analysis.enabled,
         analysis_deny: config.analysis.deny.clone(),
     }
@@ -1179,6 +1370,62 @@ mod tests {
         let off_bist = off.report.machines[0].bist.as_ref().unwrap();
         assert_eq!(on_bist.session1, off_bist.session1);
         assert_eq!(on_bist.overall_coverage, off_bist.overall_coverage);
+    }
+
+    #[test]
+    fn optimize_fields_appear_in_reports_only_when_enabled() {
+        let corpus = filter_by_names(embedded_corpus(), &["tav".to_string()]).unwrap();
+        let off = small_session().run_suite(&corpus, "test");
+        let off_json = off.report.to_json_string();
+        assert!(!off_json.contains("\"optimize\""));
+        assert!(!off_json.contains("optimize_enabled"));
+
+        let on = Synthesis::builder()
+            .max_nodes(10_000)
+            .patterns_per_session(32)
+            .optimize(true)
+            .jobs(1)
+            .build()
+            .run_suite(&corpus, "test");
+        let on_json = on.report.to_json_string();
+        assert!(on_json.contains("\"optimize\""));
+        assert!(on_json.contains("\"optimize_enabled\": true"));
+        let optimize = on.report.machines[0].optimize.as_ref().unwrap();
+        // tav's cones are 2-bit: the optimizer reaches full coverage far
+        // below the fixed 2 × 32 budget, with no test points needed.
+        assert!(optimize.target_reached);
+        assert!(optimize.total_length <= optimize.baseline_length);
+        assert_eq!(optimize.baseline_length, 64);
+        assert!((optimize.coverage - 1.0).abs() < 1e-12);
+        assert!(optimize.test_points.is_empty());
+        // The optimize stage is additive: every pre-existing section is
+        // unchanged.
+        assert_eq!(on.report.machines[0].solve, off.report.machines[0].solve);
+        assert_eq!(on.report.machines[0].bist, off.report.machines[0].bist);
+    }
+
+    #[test]
+    fn unreachable_targets_surface_scoap_ranked_test_points() {
+        let corpus = filter_by_names(embedded_corpus(), &["tav".to_string()]).unwrap();
+        let run = Synthesis::builder()
+            .max_nodes(10_000)
+            .patterns_per_session(32)
+            .optimize(true)
+            .set("coverage.optimize.max_total_length", "1")
+            .unwrap()
+            .jobs(1)
+            .build()
+            .run_suite(&corpus, "test");
+        let optimize = run.report.machines[0].optimize.as_ref().unwrap();
+        assert!(!optimize.target_reached);
+        assert!(!optimize.test_points.is_empty());
+        // Ranked hardest-first by SCOAP fault difficulty.
+        for pair in optimize.test_points.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+        let json = run.report.to_json_string();
+        assert!(json.contains("\"test_points\""));
+        assert!(json.contains("\"stuck_at\""));
     }
 
     #[test]

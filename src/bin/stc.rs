@@ -8,6 +8,10 @@
 //!   and emit a deterministic JSON report.
 //! * `stc coverage` — the same flow with the coverage stage forced on,
 //!   emitting the focused per-machine measured-coverage JSON.
+//! * `stc optimize` — the flow with the plan-optimizer stage forced on,
+//!   emitting the focused per-machine optimized-plan JSON (LFSR seed and
+//!   polynomial per session, minimal session lengths, and — when the target
+//!   is unreachable — SCOAP-ranked test-point suggestions).
 //! * `stc lint` — the flow with the static-analysis stage forced on,
 //!   emitting the focused per-machine lint/testability JSON (FSM lints,
 //!   netlist structure checks, SCOAP hard-to-test nets); non-zero exit when
@@ -29,9 +33,9 @@
 use stc::analyze::Severity;
 use stc::pipeline::{
     compare_benchmarks, coverage_json, embedded_corpus, filter_by_names, format_summary_table,
-    kiss2_corpus, lint_json, load_baseline_dir, search_stats_json, serve_with, BenchMeasurement,
-    CacheLimits, CorpusEntry, Event, NetOptions, NetServer, Observer, PipelineError, ServeOptions,
-    StcConfig, SuiteRun, Synthesis,
+    kiss2_corpus, lint_json, load_baseline_dir, optimize_json, search_stats_json, serve_with,
+    BenchMeasurement, CacheLimits, CorpusEntry, Event, NetOptions, NetServer, Observer,
+    PipelineError, ServeOptions, StcConfig, SuiteRun, Synthesis,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -45,6 +49,10 @@ USAGE:
     stc run [OPTIONS]            run the batch pipeline and print a JSON report
     stc coverage [OPTIONS]       run the pipeline with the exact fault-coverage
                                  stage and print the per-machine coverage JSON
+    stc optimize [OPTIONS]       run the pipeline with the BIST plan optimizer
+                                 and print the per-machine optimized-plan JSON
+                                 (shortest LFSR source reaching the coverage
+                                 target; see docs/COVERAGE.md)
     stc lint [OPTIONS]           run the pipeline with the static-analysis stage
                                  and print the per-machine lint/testability JSON;
                                  exit 1 if any finding reaches error severity
@@ -55,7 +63,7 @@ USAGE:
     stc bench-check [OPTIONS]    compare bench results against committed baselines
     stc help                     print this message
 
-CORPUS OPTIONS (run, coverage, lint, list):
+CORPUS OPTIONS (run, coverage, optimize, lint, list):
     --suite embedded             the embedded 13-machine benchmark suite (default)
     --kiss2 <DIR>                load every *.kiss2 / *.kiss file of a directory
     --machine <NAME>             restrict to the named machine (repeatable)
@@ -90,6 +98,10 @@ RUN OPTIONS:
                                  simulation of the plan's own stimuli); adds
                                  bist.measured_coverage / bist.undetected_faults
                                  to the report
+    --optimize                   search LFSR seed / polynomial candidates for a
+                                 shorter two-session plan reaching the coverage
+                                 target; adds an optimize section to each
+                                 machine report
     --lint                       run the static-analysis stage (FSM lints,
                                  netlist structure checks, SCOAP metrics); adds
                                  an analysis section to each machine report
@@ -102,6 +114,14 @@ COVERAGE OPTIONS (corpus + config options also apply):
     --out <FILE>                 write the coverage JSON to FILE instead of stdout
     --max-patterns <N>           cap patterns per session in the measurement
                                  (0 = the plan's full budget, the default)
+
+OPTIMIZE OPTIONS (corpus + config options also apply):
+    --out <FILE>                 write the optimize JSON to FILE instead of stdout
+    --target <F>                 coverage target as a fraction in (0, 1]
+                                 (default 1.0)
+    --max-candidates <N>         pattern sources tried per block (default 16)
+    --max-total-length <N>       budget for the summed session lengths
+                                 (0 = 2 x bist.patterns, the default)
 
 LINT OPTIONS (corpus + config options also apply):
     --out <FILE>                 write the lint JSON to FILE instead of stdout
@@ -158,6 +178,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "run" => cmd_run(rest),
         "coverage" => cmd_coverage(rest),
+        "optimize" => cmd_optimize(rest),
         "lint" => cmd_lint(rest),
         "serve" => cmd_serve(rest),
         "list" => cmd_list(rest),
@@ -356,6 +377,28 @@ impl Observer for ProgressObserver {
                 register_bits,
             } => self.line(machine, &format!("incumbent {register_bits} register bits")),
             Event::BudgetExhausted { machine } => self.line(machine, "solve budget exhausted"),
+            Event::OptimizeCandidate {
+                machine,
+                block,
+                candidate,
+                length,
+                coverage,
+            } => {
+                let reach = match length {
+                    Some(length) => format!("length {length}"),
+                    None => format!("coverage {coverage:.3}"),
+                };
+                self.line(machine, &format!("optimize {block} #{candidate}: {reach}"));
+            }
+            Event::OptimizeIncumbent {
+                machine,
+                block,
+                candidate,
+                length,
+            } => self.line(
+                machine,
+                &format!("optimize {block} incumbent #{candidate}: length {length}"),
+            ),
             Event::MachineFinished { machine, status } => {
                 self.line(machine, &format!("finished: {status}"));
             }
@@ -381,6 +424,9 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             "--coverage" => config_args
                 .overrides
                 .push(("coverage.enabled".into(), "true".into())),
+            "--optimize" => config_args
+                .overrides
+                .push(("coverage.optimize.enabled".into(), "true".into())),
             "--lint" => config_args
                 .overrides
                 .push(("analysis.enabled".into(), "true".into())),
@@ -482,6 +528,67 @@ fn cmd_coverage(args: &[String]) -> Result<ExitCode, String> {
     eprint!("{}", format_summary_table(&report));
 
     let json = coverage_json(&report).to_pretty();
+    match out {
+        Some(path) => std::fs::write(&path, &json)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?,
+        None => print!("{json}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `stc optimize`: the pipeline with the BIST plan optimizer forced on,
+/// emitting the focused per-machine optimized-plan JSON (the full report —
+/// which the CI `optimize-gate` diffs — comes from `stc run --optimize`).
+fn cmd_optimize(args: &[String]) -> Result<ExitCode, String> {
+    let mut corpus_args = CorpusArgs::new();
+    let mut config_args = ConfigArgs::new();
+    let mut out: Option<PathBuf> = None;
+
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        if parse_corpus_flag(flag, &mut iter, &mut corpus_args)?
+            || config_args.parse_flag(flag, &mut iter)?
+        {
+            continue;
+        }
+        match flag.as_str() {
+            "--out" => out = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--target" => config_args.overrides.push((
+                "coverage.optimize.target".into(),
+                take_value(flag, &mut iter)?.clone(),
+            )),
+            "--max-candidates" => config_args.overrides.push((
+                "coverage.optimize.max_candidates".into(),
+                take_value(flag, &mut iter)?.clone(),
+            )),
+            "--max-total-length" => config_args.overrides.push((
+                "coverage.optimize.max_total_length".into(),
+                take_value(flag, &mut iter)?.clone(),
+            )),
+            other => return Err(format!("unknown flag '{other}' for 'stc optimize'")),
+        }
+    }
+    let mut config = config_args.build()?;
+    config
+        .set("coverage.optimize.enabled", "true")
+        .map_err(|e| e.to_string())?;
+    let jobs = config.resolve_jobs();
+
+    let (label, corpus) = corpus_args.load()?;
+    if corpus.is_empty() {
+        return Err(PipelineError::EmptyCorpus(label).to_string());
+    }
+    eprintln!(
+        "stc optimize: {} machines from '{label}', {jobs} worker(s){}",
+        corpus.len(),
+        if config.jobs == 0 { " [auto]" } else { "" }
+    );
+
+    let session = Synthesis::builder().config(config).build();
+    let SuiteRun { report, .. } = session.run_suite(&corpus, &label);
+    eprint!("{}", format_summary_table(&report));
+
+    let json = optimize_json(&report).to_pretty();
     match out {
         Some(path) => std::fs::write(&path, &json)
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?,

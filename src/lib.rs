@@ -29,11 +29,13 @@
 //! The staged flow is driven through one **session API**: a [`Synthesis`]
 //! built from a layered [`StcConfig`] produces typed artifacts that flow one
 //! into the next — [`Decomposition`] → [`Encoded`] → `Netlist` → [`BistPlan`]
-//! (→ [`CoverageReport`], the exact measured fault coverage of the plan) →
-//! [`pipeline::MachineReport`] — with progress events and cooperative
-//! cancellation via [`Observer`].  The `stc` binary (`src/bin/stc.rs`)
-//! exposes the same flow as `stc run` (batch), `stc coverage` (measured
-//! fault coverage), `stc serve` (a JSON-lines request loop) and the
+//! (→ [`CoverageReport`], the exact measured fault coverage of the plan, →
+//! [`OptimizedPlan`], the shortest LFSR pattern source reaching a coverage
+//! target) → [`pipeline::MachineReport`] — with progress events and
+//! cooperative cancellation via [`Observer`].  The `stc` binary
+//! (`src/bin/stc.rs`) exposes the same flow as `stc run` (batch),
+//! `stc coverage` (measured fault coverage), `stc optimize` (the plan
+//! optimizer), `stc serve` (a JSON-lines request loop) and the
 //! perf-regression gate; see the README for flags, the report schema and
 //! the old-API migration table.
 //!
@@ -87,6 +89,10 @@
 //!         "bist.patterns",              // patterns per self-test session
 //!         "coverage.enabled",           // exact fault-coverage measurement
 //!         "coverage.max_patterns",      // measurement pattern cap (0 = plan budget)
+//!         "coverage.optimize.enabled",  // BIST plan optimizer stage
+//!         "coverage.optimize.target",   // optimizer coverage target in (0, 1]
+//!         "coverage.optimize.max_candidates",   // pattern sources per block
+//!         "coverage.optimize.max_total_length", // session-length budget (0 = 2x patterns)
 //!         "analysis.enabled",           // static lints + SCOAP testability
 //!         "analysis.deny",              // diagnostic codes promoted to error
 //!         "gate_level.max_states",      // gate-level stage |S| limit
@@ -97,12 +103,43 @@
 //! );
 //! ```
 //!
+//! # Optimizing the BIST plan
+//!
+//! [`Synthesis::optimize_plan`] searches LFSR seed and polynomial
+//! candidates for each block and truncates the winner to the shortest
+//! session reaching the configured coverage target (default 100%), so the
+//! two test sessions apply as few patterns as the fault population
+//! requires instead of the fixed budget.  The search order is
+//! deterministic, the reported coverage is re-checkable with
+//! [`bist::measure_optimized_plan`], and when the target is unreachable
+//! within the length budget the artifact carries SCOAP-ranked test-point
+//! suggestions (`docs/COVERAGE.md`):
+//!
+//! ```
+//! use stc::Synthesis;
+//!
+//! let machine = stc::fsm::paper_example();
+//! let session = Synthesis::builder().patterns_per_session(64).build();
+//! let decomposition = session.decompose_only(&machine);
+//! let encoded = session.encode(&decomposition).unwrap();
+//! let netlist = session.synthesize_logic(&encoded);
+//! let plan = session.plan_bist(&netlist);
+//!
+//! let optimized = session.optimize_plan(&plan);
+//! let target = optimized.result.target;
+//! assert!(optimized.result.coverage() >= target);
+//! assert!(optimized.result.total_length() <= optimized.baseline_length);
+//! assert!(optimized.test_points.is_empty()); // 100% reached: no suggestions
+//! ```
+//!
 //! # Observer events
 //!
 //! An [`Observer`] attached via [`SynthesisBuilder::observer`] receives
 //! the full event vocabulary of [`Event`]: `StageStarted` /
 //! `StageFinished` (stage names from [`pipeline::stage_names`]),
-//! `SolverProgress`, `IncumbentImproved`, `BudgetExhausted` and
+//! `SolverProgress`, `IncumbentImproved`, `BudgetExhausted`,
+//! `OptimizeCandidate` / `OptimizeIncumbent` (the plan optimizer's search
+//! progress) and
 //! `MachineFinished` — and may request cooperative cancellation via
 //! `should_cancel`.  Events are a side channel: attaching an observer
 //! never changes report bytes.
@@ -197,7 +234,7 @@ pub use stc_pipeline as pipeline;
 // gate-level type.)
 pub use stc_pipeline::{
     BistPlan, CancelFlag, ConfigError, CoverageReport, Decomposition, Encoded, Event, NullObserver,
-    Observer, SessionError, StcConfig, Synthesis, SynthesisBuilder,
+    Observer, OptimizedPlan, SessionError, StcConfig, Synthesis, SynthesisBuilder,
 };
 
 /// The most commonly used items, for glob import in examples and tests.
@@ -219,7 +256,8 @@ pub mod prelude {
     pub use stc_partition::{is_symmetric_pair, Partition};
     pub use stc_pipeline::{
         embedded_corpus, BistPlan, CancelFlag, Decomposition, Encoded, Event, Observer,
-        PipelineConfig, StcConfig, SuiteReport, SuiteRun, Synthesis, SynthesisBuilder,
+        OptimizedPlan, PipelineConfig, StcConfig, SuiteReport, SuiteRun, Synthesis,
+        SynthesisBuilder,
     };
     #[allow(deprecated)]
     pub use stc_pipeline::{run_corpus, Stage};

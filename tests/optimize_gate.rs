@@ -1,0 +1,104 @@
+//! The plan-optimizer regression gate, enforced from the test suite.
+//!
+//! CI diffs `stc optimize --suite embedded --jobs 2` against
+//! `tests/golden/optimize.json`; this test enforces the same golden from
+//! `cargo test`, so a change in the candidate enumeration, the detection
+//! profiles, or the truncation rule that moves any machine's optimized plan
+//! fails fast locally.  Re-golden after an intentional change:
+//!
+//! ```text
+//! cargo run --release --bin stc -- optimize --suite embedded --jobs 2 \
+//!     --out tests/golden/optimize.json
+//! ```
+//!
+//! and review the diff like any other code change — a machine whose
+//! `total_length` grows means the search found a worse plan; one whose
+//! `target_reached` flips to false no longer reaches 100% single-stuck-at
+//! coverage within the budget.
+
+use stc::pipeline::{embedded_corpus, optimize_json, StcConfig, SuiteRun, Synthesis};
+
+fn optimize_suite(jobs: &str) -> SuiteRun {
+    let mut config = StcConfig::default();
+    config.set("coverage.optimize.enabled", "true").unwrap();
+    config.set("jobs", jobs).unwrap();
+    Synthesis::builder()
+        .config(config)
+        .build()
+        .run_suite(&embedded_corpus(), "embedded")
+}
+
+#[test]
+fn embedded_optimize_report_matches_the_committed_golden() {
+    let run = optimize_suite("2");
+    let fresh = optimize_json(&run.report).to_pretty();
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/optimize.json");
+    let golden =
+        std::fs::read_to_string(golden_path).expect("tests/golden/optimize.json is committed");
+    assert_eq!(
+        fresh, golden,
+        "the optimized-plan report diverged from tests/golden/optimize.json; \
+         if the change is intentional, re-golden (see this file's module docs) \
+         and review the test-length impact"
+    );
+
+    // The headline claim, measured: for every embedded machine that reaches
+    // the gate-level stages, the optimizer finds a two-session plan with
+    // 100% single-stuck-at coverage that is no longer than the fixed
+    // 2 × 256 baseline — and strictly shorter on at least one machine.
+    let mut gate_level_machines = 0;
+    let mut strictly_shorter = 0;
+    for machine in &run.report.machines {
+        let Some(optimize) = &machine.optimize else {
+            continue;
+        };
+        gate_level_machines += 1;
+        assert!(optimize.target_reached, "{}", machine.name);
+        assert_eq!(optimize.coverage, 1.0, "{}", machine.name);
+        assert!(
+            optimize.total_length <= optimize.baseline_length,
+            "{}: optimized plan longer than the fixed baseline",
+            machine.name
+        );
+        if optimize.total_length < optimize.baseline_length {
+            strictly_shorter += 1;
+        }
+    }
+    assert_eq!(
+        gate_level_machines, 9,
+        "the claim must cover the 9 full machines"
+    );
+    assert!(strictly_shorter >= 1);
+}
+
+#[test]
+fn optimize_report_is_identical_across_worker_counts() {
+    let serial = optimize_suite("1").report.to_json_string();
+    let parallel = optimize_suite("4").report.to_json_string();
+    assert_eq!(
+        serial, parallel,
+        "the optimizer's candidate search must not depend on the worker count"
+    );
+}
+
+#[test]
+fn optimizer_off_report_matches_the_pre_optimizer_golden() {
+    let mut config = StcConfig::default();
+    config.set("jobs", "2").unwrap();
+    let run = Synthesis::builder()
+        .config(config)
+        .build()
+        .run_suite(&embedded_corpus(), "embedded");
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/embedded_suite.json"
+    );
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("tests/golden/embedded_suite.json is committed");
+    assert_eq!(
+        run.report.to_json_string(),
+        golden,
+        "with the optimizer off, the suite report must stay byte-identical \
+         to the pre-optimizer golden — the optimize section is additive"
+    );
+}
