@@ -68,7 +68,7 @@ pub fn analyze_block(block: &str, netlist: &Netlist, hard_nets: usize) -> BlockA
     // checking the order *is* the loop check, and doubles as a validation
     // of the invariant every evaluator in `stc-logic` relies on.
     for (id, gate) in gates.iter().enumerate() {
-        for f in gate.fanins() {
+        for &f in gate.fanins() {
             if f >= id {
                 diagnostics.push(Diagnostic::new(
                     "net-cycle",
@@ -87,7 +87,7 @@ pub fn analyze_block(block: &str, netlist: &Netlist, hard_nets: usize) -> BlockA
     }
     for id in (0..gates.len()).rev() {
         if live[id] {
-            for f in gates[id].fanins() {
+            for &f in gates[id].fanins() {
                 live[f] = true;
             }
         }
@@ -137,7 +137,7 @@ pub fn analyze_block(block: &str, netlist: &Netlist, hard_nets: usize) -> BlockA
     // Fanout and depth statistics.
     let mut fanout = vec![0usize; gates.len()];
     for gate in gates {
-        for f in gate.fanins() {
+        for &f in gate.fanins() {
             fanout[f] += 1;
         }
     }

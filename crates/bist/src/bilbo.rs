@@ -9,7 +9,7 @@
 //! signature-analysis mode — no transparency is required, which is one of the
 //! paper's arguments for the structure.
 
-use crate::lfsr::PRIMITIVE_TAPS;
+use crate::lfsr::{width_mask, PRIMITIVE_TAPS};
 use serde::{Deserialize, Serialize};
 
 /// Operating mode of a [`Bilbo`] register.
@@ -53,21 +53,43 @@ pub struct Bilbo {
 }
 
 impl Bilbo {
-    /// Creates a register of the given width with the given initial contents.
+    /// Creates a register of the given width with the given initial contents,
+    /// using the built-in primitive-polynomial table for the feedback taps.
     ///
     /// # Panics
     ///
-    /// Panics if `width` is outside `1..=24`.
+    /// Panics if `width` is outside `1..=24` (the tabulated range; wider
+    /// registers take explicit taps via [`Bilbo::with_taps`]).
     #[must_use]
     pub fn new(width: u32, seed: u64) -> Self {
         assert!(
             (1..PRIMITIVE_TAPS.len() as u32).contains(&width),
             "BILBO widths are limited to 1..=24"
         );
+        Self::with_taps(width, PRIMITIVE_TAPS[width as usize], seed)
+    }
+
+    /// Creates a register with an explicit feedback-tap list (1-based
+    /// positions), supporting the full machine-word range of widths.  The
+    /// LFSR/MISR modes only have maximal period when the taps describe a
+    /// primitive polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=64`, the tap list is empty, or a
+    /// tap lies outside `1..=width`.
+    #[must_use]
+    pub fn with_taps(width: u32, taps: &[u32], seed: u64) -> Self {
+        assert!((1..=64).contains(&width), "width must be in 1..=64");
+        assert!(!taps.is_empty(), "at least one tap is required");
+        assert!(
+            taps.iter().all(|&t| t >= 1 && t <= width),
+            "taps must lie in 1..=width"
+        );
         Self {
             width,
-            taps: PRIMITIVE_TAPS[width as usize].to_vec(),
-            state: seed & ((1u64 << width) - 1),
+            taps: taps.to_vec(),
+            state: seed & width_mask(width),
             mode: BilboMode::System,
         }
     }
@@ -106,7 +128,7 @@ impl Bilbo {
 
     /// Loads explicit contents (e.g. to seed a test session).
     pub fn load(&mut self, value: u64) {
-        self.state = value & ((1u64 << self.width) - 1);
+        self.state = value & width_mask(self.width);
     }
 
     /// Applies one clock edge with the given parallel input and returns the
@@ -151,7 +173,7 @@ impl Bilbo {
             .taps
             .iter()
             .fold(0u64, |acc, &t| acc ^ ((self.state >> (t - 1)) & 1));
-        self.state = (((self.state << 1) | feedback) ^ inject) & ((1u64 << self.width) - 1);
+        self.state = (((self.state << 1) | feedback) ^ inject) & width_mask(self.width);
     }
 }
 
@@ -207,6 +229,52 @@ mod tests {
         r.set_mode(BilboMode::Transparent);
         assert_eq!(r.clock(&[false, true]), vec![false, true]);
         assert_eq!(r.contents_word(), 0b11, "contents untouched");
+    }
+
+    /// Taps of the primitive polynomial `x^64 + x^63 + x^61 + x^60 + 1`.
+    const TAPS_64: &[u32] = &[64, 63, 61, 60];
+
+    #[test]
+    fn width_one_register_shifts_and_compacts_without_panicking() {
+        let mut r = Bilbo::new(1, 1);
+        assert_eq!(r.contents_word(), 1);
+        // At width 1 the MISR step degenerates to state ^ response.
+        r.set_mode(BilboMode::SignatureAnalysis);
+        assert_eq!(r.clock(&[true]), vec![false]);
+        assert_eq!(r.clock(&[true]), vec![true]);
+        assert_eq!(r.clock(&[false]), vec![true]);
+        r.set_mode(BilboMode::System);
+        assert_eq!(r.clock(&[false]), vec![false]);
+    }
+
+    #[test]
+    fn width_sixty_four_register_keeps_every_bit_without_overflow() {
+        // The full-width seed must survive the mask: the old
+        // `(1u64 << width) - 1` form overflows exactly here.
+        let mut r = Bilbo::with_taps(64, TAPS_64, u64::MAX);
+        assert_eq!(r.contents_word(), u64::MAX);
+
+        // Shift semantics at the top bit: from state 1<<63 only the tap at
+        // position 64 contributes, so one LFSR step lands on state 1.
+        r.load(1u64 << 63);
+        r.set_mode(BilboMode::PatternGeneration);
+        r.clock(&[false; 64]);
+        assert_eq!(r.contents_word(), 1);
+
+        // No short cycle early in the sequence.
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            r.clock(&[false; 64]);
+            seen.insert(r.contents_word());
+        }
+        assert_eq!(seen.len(), 1000);
+
+        // Full-width injection and full-width parallel capture.
+        r.set_mode(BilboMode::SignatureAnalysis);
+        r.clock(&[true; 64]);
+        r.set_mode(BilboMode::System);
+        assert_eq!(r.clock(&[true; 64]), vec![true; 64]);
+        assert_eq!(r.contents_word(), u64::MAX);
     }
 
     #[test]

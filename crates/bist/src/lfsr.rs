@@ -36,6 +36,19 @@ pub const PRIMITIVE_TAPS: [&[u32]; 25] = [
     &[24, 23, 22, 17],
 ];
 
+/// The mask selecting the low `width` bits of a word, overflow-safe across
+/// the full `1..=64` range (`(1u64 << 64) - 1` would overflow the shift,
+/// which is exactly the trap a 64-bit test register walks into).
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or greater than 64.
+#[must_use]
+pub fn width_mask(width: u32) -> u64 {
+    assert!((1..=64).contains(&width), "width must be in 1..=64");
+    u64::MAX >> (64 - width)
+}
+
 /// A Fibonacci (external-XOR) linear feedback shift register.
 ///
 /// The register's parallel output is used as a pseudo-random test pattern;
@@ -339,6 +352,23 @@ mod tests {
                 assert_eq!(seen.len() as u64, 1u64 << width, "width {width}");
             }
         }
+    }
+
+    #[test]
+    fn width_mask_covers_the_full_word_range() {
+        assert_eq!(width_mask(1), 1);
+        assert_eq!(width_mask(24), (1u64 << 24) - 1);
+        assert_eq!(width_mask(63), u64::MAX >> 1);
+        assert_eq!(width_mask(64), u64::MAX);
+        for width in 1..=63u32 {
+            assert_eq!(width_mask(width), (1u64 << width) - 1, "width {width}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in 1..=64")]
+    fn width_mask_rejects_zero() {
+        let _ = width_mask(0);
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub use fault::{
     exhaustive_patterns, fault_list, lfsr_patterns, simulate_faults, simulate_faults_packed,
     FaultSimReport, PackedPatterns, StuckAtFault,
 };
-pub use lfsr::{reciprocal_taps, Lfsr, PRIMITIVE_TAPS};
+pub use lfsr::{reciprocal_taps, width_mask, Lfsr, PRIMITIVE_TAPS};
 pub use misr::Misr;
 pub use optimize::{
     measure_optimized_plan, optimize_plan, optimize_plan_with, OptimizeOptions, OptimizeProgress,

@@ -1,6 +1,6 @@
 //! Multiple-input signature registers (MISRs) for test-response compaction.
 
-use crate::lfsr::PRIMITIVE_TAPS;
+use crate::lfsr::{width_mask, PRIMITIVE_TAPS};
 use serde::{Deserialize, Serialize};
 
 /// A multiple-input signature register.
@@ -40,17 +40,37 @@ impl Misr {
     ///
     /// # Panics
     ///
-    /// Panics if `width` is outside `1..=24`.
+    /// Panics if `width` is outside `1..=24` (the tabulated range; wider
+    /// registers take explicit taps via [`Misr::with_taps`]).
     #[must_use]
     pub fn new(width: u32, seed: u64) -> Self {
         assert!(
             (1..PRIMITIVE_TAPS.len() as u32).contains(&width),
             "primitive polynomials are tabulated for widths 1..=24"
         );
+        Self::with_taps(width, PRIMITIVE_TAPS[width as usize], seed)
+    }
+
+    /// Creates a MISR with an explicit feedback-tap list (1-based positions),
+    /// supporting the full machine-word range of widths.  Aliasing bounds
+    /// only hold when the taps describe a primitive polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=64`, the tap list is empty, or a
+    /// tap lies outside `1..=width`.
+    #[must_use]
+    pub fn with_taps(width: u32, taps: &[u32], seed: u64) -> Self {
+        assert!((1..=64).contains(&width), "width must be in 1..=64");
+        assert!(!taps.is_empty(), "at least one tap is required");
+        assert!(
+            taps.iter().all(|&t| t >= 1 && t <= width),
+            "taps must lie in 1..=width"
+        );
         Self {
             width,
-            taps: PRIMITIVE_TAPS[width as usize].to_vec(),
-            state: seed & ((1u64 << width) - 1),
+            taps: taps.to_vec(),
+            state: seed & width_mask(width),
         }
     }
 
@@ -75,7 +95,7 @@ impl Misr {
             .taps
             .iter()
             .fold(0u64, |acc, &t| acc ^ ((self.state >> (t - 1)) & 1));
-        let mut next = ((self.state << 1) | feedback) & ((1u64 << self.width) - 1);
+        let mut next = ((self.state << 1) | feedback) & width_mask(self.width);
         // Parallel response injection.
         for (i, &bit) in response.iter().enumerate() {
             if bit {
@@ -97,7 +117,7 @@ impl Misr {
 
     /// Resets the register to a new seed.
     pub fn reset(&mut self, seed: u64) {
-        self.state = seed & ((1u64 << self.width) - 1);
+        self.state = seed & width_mask(self.width);
     }
 }
 
@@ -149,6 +169,42 @@ mod tests {
         m.absorb(&[true, true]);
         m.reset(0b10101);
         assert_eq!(m.signature(), 0b10101);
+    }
+
+    /// Taps of the primitive polynomial `x^64 + x^63 + x^61 + x^60 + 1`.
+    const TAPS_64: &[u32] = &[64, 63, 61, 60];
+
+    #[test]
+    fn width_one_misr_reduces_to_parity_accumulation() {
+        // At width 1 the shift contributes state back to itself, so each
+        // absorb XORs the response bit: the signature is seed ^ parity.
+        let mut m = Misr::new(1, 1);
+        for bit in [true, false, true, true] {
+            m.absorb(&[bit]);
+        }
+        assert_eq!(m.signature(), 1 ^ 1); // three ones: odd parity
+        m.absorb(&[true]);
+        assert_eq!(m.signature(), 1);
+    }
+
+    #[test]
+    fn width_sixty_four_misr_absorbs_full_width_responses_without_overflow() {
+        let mut good = Misr::with_taps(64, TAPS_64, u64::MAX);
+        assert_eq!(good.signature(), u64::MAX, "full-width seed survives");
+        good.absorb(&[true; 64]);
+        good.absorb(&[false; 64]);
+
+        // A single flipped bit in the top response position still changes
+        // the signature (the injection at i = 63 must not shift-overflow).
+        let mut faulty = Misr::with_taps(64, TAPS_64, u64::MAX);
+        let mut response = [true; 64];
+        response[63] = false;
+        faulty.absorb(&response);
+        faulty.absorb(&[false; 64]);
+        assert_ne!(good.signature(), faulty.signature());
+
+        good.reset(u64::MAX);
+        assert_eq!(good.signature(), u64::MAX);
     }
 
     #[test]

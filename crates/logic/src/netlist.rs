@@ -29,13 +29,17 @@ pub enum Gate {
 }
 
 impl Gate {
-    /// The fan-in node ids of the gate.
+    /// The fan-in node ids of the gate, borrowed from the gate itself.
+    ///
+    /// Returns a slice instead of allocating: levelization, fault-site
+    /// enumeration, SCOAP and codegen all walk fan-ins in tight per-node
+    /// loops, where a fresh `Vec` per call dominated the traversal cost.
     #[must_use]
-    pub fn fanins(&self) -> Vec<NodeId> {
+    pub fn fanins(&self) -> &[NodeId] {
         match self {
-            Gate::Input(_) | Gate::Const(_) => Vec::new(),
-            Gate::Not(a) => vec![*a],
-            Gate::And(xs) | Gate::Or(xs) => xs.clone(),
+            Gate::Input(_) | Gate::Const(_) => &[],
+            Gate::Not(a) => std::slice::from_ref(a),
+            Gate::And(xs) | Gate::Or(xs) => xs,
         }
     }
 }
@@ -257,7 +261,7 @@ impl Netlist {
     pub fn fault_sites(&self) -> Vec<NodeId> {
         let mut referenced = vec![false; self.gates.len()];
         for gate in &self.gates {
-            for f in gate.fanins() {
+            for &f in gate.fanins() {
                 referenced[f] = true;
             }
         }
@@ -477,7 +481,7 @@ mod tests {
             for &id in group {
                 assert!(!seen[id], "node {id} appears twice");
                 seen[id] = true;
-                for f in n.gates()[id].fanins() {
+                for &f in n.gates()[id].fanins() {
                     let fanin_level = groups.iter().position(|g| g.contains(&f)).unwrap();
                     assert!(
                         fanin_level < l,

@@ -99,6 +99,15 @@ pub const CONFIG_KEYS: &[(&str, &str)] = &[
         "analysis.deny",
         "comma-separated diagnostic codes promoted to error severity",
     ),
+    (
+        "emit.enabled",
+        "true/false — compile the plan into a deployable controller module",
+    ),
+    ("emit.target", "rust | verilog"),
+    (
+        "emit.module_name",
+        "override for the emitted module name (empty = machine name)",
+    ),
     ("gate_level.max_states", "max |S| for the gate-level stages"),
     (
         "gate_level.max_inputs",
@@ -128,6 +137,24 @@ pub struct AnalysisSettings {
     pub deny: Vec<String>,
 }
 
+/// Settings of the optional code-emission stage (`stc-emit`).
+///
+/// Like [`AnalysisSettings`] this lives on [`StcConfig`] rather than
+/// [`PipelineConfig`]: the module-name override is heap-allocated and
+/// `PipelineConfig` stays `Copy`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EmitSettings {
+    /// Compile the decomposition + BIST plan into a deployable controller
+    /// module and attach an `emit` digest section to each machine report.
+    pub enabled: bool,
+    /// The codegen backend: an allocation-free `no_std` Rust module or a
+    /// structural Verilog netlist with a BIST wrapper.
+    pub target: stc_emit::EmitTarget,
+    /// Override for the emitted module name; empty means *derive from the
+    /// machine name*.  Either way the name is sanitised to an identifier.
+    pub module_name: String,
+}
+
 /// The complete, layered configuration of a [`crate::Synthesis`] session.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct StcConfig {
@@ -135,6 +162,8 @@ pub struct StcConfig {
     pub pipeline: PipelineConfig,
     /// The static-analysis stage (disabled by default; additive in reports).
     pub analysis: AnalysisSettings,
+    /// The code-emission stage (disabled by default; additive in reports).
+    pub emit: EmitSettings,
     /// Worker threads for corpus runs and the serve loop.  `0` means *auto*:
     /// resolve via [`std::thread::available_parallelism`] at run time.  The
     /// resolved value is logged but — like `solver.jobs` — deliberately
@@ -157,6 +186,7 @@ impl StcConfig {
         Self {
             pipeline,
             analysis: AnalysisSettings::default(),
+            emit: EmitSettings::default(),
             jobs,
             stage_deadline: None,
         }
@@ -275,6 +305,15 @@ impl StcConfig {
                 deny.dedup();
                 self.analysis.deny = deny;
             }
+            "emit.enabled" => self.emit.enabled = parse_bool(key, value)?,
+            "emit.target" => {
+                self.emit.target =
+                    stc_emit::EmitTarget::parse(value).ok_or_else(|| ConfigError {
+                        key: key.to_string(),
+                        message: format!("unknown target '{value}' (expected rust or verilog)"),
+                    })?;
+            }
+            "emit.module_name" => self.emit.module_name = value.to_string(),
             "gate_level.max_states" => p.gate_level.max_states = parse(key, value)?,
             "gate_level.max_inputs" => p.gate_level.max_inputs = parse(key, value)?,
             "machine_timeout_secs" => p.machine_timeout = optional_secs(parse(key, value)?),
@@ -381,6 +420,8 @@ mod tests {
         for (key, _) in CONFIG_KEYS {
             let value = match *key {
                 "encoding" => "binary",
+                "emit.target" => "rust",
+                "emit.module_name" => "ctrl",
                 "analysis.deny" => "net-cycle, kiss2-syntax",
                 "coverage.optimize.target" => "0.95",
                 k if k.contains("pruning")

@@ -65,7 +65,9 @@ pub use bench_compare::{
     compare_benchmarks, load_baseline_dir, parse_baseline, BenchCheck, BenchDelta, BenchMeasurement,
 };
 pub use cache::{ArtifactCache, CacheCounters, CacheLimits};
-pub use config::{resolve_jobs, AnalysisSettings, ConfigError, StcConfig, CONFIG_KEYS};
+pub use config::{
+    resolve_jobs, AnalysisSettings, ConfigError, EmitSettings, StcConfig, CONFIG_KEYS,
+};
 pub use corpus::{embedded_corpus, filter_by_names, kiss2_corpus, CorpusEntry};
 pub use error::PipelineError;
 pub use json::{Json, JsonError};
@@ -73,10 +75,10 @@ pub use metrics::{ServeMetrics, StageTimer};
 pub use net::{NetOptions, NetServer, ServerHandle};
 pub use observe::{CancelFlag, Event, NullObserver, Observer};
 pub use report::{
-    coverage_json, format_summary_table, lint_json, optimize_json, search_stats_json,
-    AnalysisReport, BistReport, ConfigEcho, LogicReport, MachineReport, MachineStatus,
-    OptimizeReport, OptimizeSessionReport, SessionReport, SolveReport, SuiteReport, SuiteSummary,
-    TestPointSuggestion, REPORT_SCHEMA_VERSION,
+    coverage_json, emit_json, format_summary_table, lint_json, optimize_json, search_stats_json,
+    AnalysisReport, BistReport, ConfigEcho, EmitModuleDigest, EmitReport, LogicReport,
+    MachineReport, MachineStatus, OptimizeReport, OptimizeSessionReport, SessionReport,
+    SolveReport, SuiteReport, SuiteSummary, TestPointSuggestion, REPORT_SCHEMA_VERSION,
 };
 #[allow(deprecated)]
 pub use runner::{run_corpus, run_machine};
@@ -85,9 +87,10 @@ pub use runner::{
 };
 pub use serve::{serve, serve_with, ServeOptions, ServeStats};
 pub use session::{
-    stage_names, BistPlan, CoverageReport, Decomposition, Encoded, Netlist, OptimizedPlan,
-    SessionError, Synthesis, SynthesisBuilder,
+    stage_names, BistPlan, CoverageReport, Decomposition, EmittedCode, Encoded, Netlist,
+    OptimizedPlan, SessionError, Synthesis, SynthesisBuilder,
 };
+pub use stc_emit::{EmitTarget, EmittedModule};
 
 #[allow(deprecated)]
 use stc_bist::BistStage;

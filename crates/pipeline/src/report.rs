@@ -22,8 +22,10 @@ use stc_fsm::benchmarks::{PaperTable1Row, PaperTable2Row};
 /// keep the original v2 byte layout.  Likewise additive: the per-machine
 /// `analysis` section and the `config.analysis_enabled` /
 /// `config.analysis_deny` echo appear only when the static-analysis stage
-/// is enabled, and the per-machine `optimize` section and the
+/// is enabled, the per-machine `optimize` section and the
 /// `config.optimize_*` echo appear only when the plan-optimization stage is
+/// enabled, and the per-machine `emit` digest section and the
+/// `config.emit_*` echo appear only when the code-emission stage is
 /// enabled.
 pub const REPORT_SCHEMA_VERSION: u64 = 2;
 
@@ -205,6 +207,33 @@ pub struct OptimizeReport {
     pub test_points: Vec<TestPointSuggestion>,
 }
 
+/// A deterministic digest of one emitted source module.
+///
+/// Reports carry digests, not source text: the full source is the artefact
+/// `stc emit --out` writes to disk, while the report pins its identity —
+/// length plus FNV-1a hash — so the CI `emit-gate` can detect codegen drift
+/// without megabyte goldens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmitModuleDigest {
+    /// The module name inside the source (`mod`/`module` identifier).
+    pub module: String,
+    /// The suggested file name (`<module>.rs` / `<module>.v`).
+    pub file: String,
+    /// Source length in bytes.
+    pub bytes: usize,
+    /// FNV-1a 64-bit hash of the source text.
+    pub fnv1a: u64,
+}
+
+/// Results of the code-emission stage for one machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmitReport {
+    /// The codegen backend (`rust` or `verilog`).
+    pub target: String,
+    /// One digest per emitted module, in emission order.
+    pub modules: Vec<EmitModuleDigest>,
+}
+
 /// Results of the static-analysis stage for one machine.
 ///
 /// Severities are *effective*: codes named by `analysis.deny` have already
@@ -266,6 +295,10 @@ pub struct MachineReport {
     /// — the section is then absent from the JSON, keeping analysis-free
     /// reports byte-identical.
     pub analysis: Option<AnalysisReport>,
+    /// Code-emission digests.  `None` when the emit stage is disabled — the
+    /// section is then absent from the JSON, keeping emit-free reports
+    /// byte-identical.
+    pub emit: Option<EmitReport>,
 }
 
 /// Aggregate counters over a suite run.
@@ -338,6 +371,14 @@ pub struct ConfigEcho {
     pub analysis_enabled: bool,
     /// Diagnostic codes promoted to error severity.
     pub analysis_deny: Vec<String>,
+    /// Whether the code-emission stage ran.  Echoed into the JSON (along
+    /// with the target and module-name override) only when `true` — same
+    /// additive contract as the coverage echo.
+    pub emit_enabled: bool,
+    /// The codegen backend (`rust` or `verilog`).
+    pub emit_target: String,
+    /// Module-name override (empty = derive from the machine name).
+    pub emit_module_name: String,
 }
 
 /// The complete report of one corpus run.
@@ -456,6 +497,14 @@ fn config_json(c: &ConfigEcho) -> Json {
             ),
         ));
     }
+    if c.emit_enabled {
+        entries.push(("emit_enabled".into(), Json::Bool(true)));
+        entries.push(("emit_target".into(), Json::String(c.emit_target.clone())));
+        entries.push((
+            "emit_module_name".into(),
+            Json::String(c.emit_module_name.clone()),
+        ));
+    }
     Json::Object(entries)
 }
 
@@ -495,7 +544,29 @@ fn machine_json(m: &MachineReport) -> Json {
     if let Some(analysis) = &m.analysis {
         entries.push(("analysis".into(), analysis_json(analysis)));
     }
+    if let Some(emit) = &m.emit {
+        entries.push(("emit".into(), emit_report_json(emit)));
+    }
     Json::Object(entries)
+}
+
+fn emit_module_json(d: &EmitModuleDigest) -> Json {
+    Json::Object(vec![
+        ("module".into(), Json::String(d.module.clone())),
+        ("file".into(), Json::String(d.file.clone())),
+        ("bytes".into(), Json::from_usize(d.bytes)),
+        ("fnv1a".into(), Json::from_u64(d.fnv1a)),
+    ])
+}
+
+fn emit_report_json(e: &EmitReport) -> Json {
+    Json::Object(vec![
+        ("target".into(), Json::String(e.target.clone())),
+        (
+            "modules".into(),
+            Json::Array(e.modules.iter().map(emit_module_json).collect()),
+        ),
+    ])
 }
 
 fn diagnostic_json(d: &Diagnostic) -> Json {
@@ -946,6 +1017,43 @@ pub fn lint_json(report: &SuiteReport) -> Json {
                 ),
             ]),
         ),
+    ])
+}
+
+/// Extracts the per-machine code-emission digests of a suite report as a
+/// compact, deterministic JSON document — the focused artefact `stc emit`
+/// emits and the CI `emit-gate` diffs against `tests/golden/emit.json`.
+///
+/// Machines without an emit section (gate-level stages skipped, timed out,
+/// or the stage disabled) are reported with a `null` entry so a
+/// disappearing machine also fails a diff against this document.
+#[must_use]
+pub fn emit_json(report: &SuiteReport) -> Json {
+    let machines: Vec<Json> = report
+        .machines
+        .iter()
+        .map(|m| {
+            let mut entries = vec![
+                ("name".into(), Json::String(m.name.clone())),
+                (
+                    "status".into(),
+                    Json::String(m.status.as_json_str().to_string()),
+                ),
+            ];
+            match &m.emit {
+                Some(e) => entries.push(("emit".into(), emit_report_json(e))),
+                None => entries.push(("emit".into(), Json::Null)),
+            }
+            Json::Object(entries)
+        })
+        .collect();
+    Json::Object(vec![
+        (
+            "schema_version".into(),
+            Json::from_u64(REPORT_SCHEMA_VERSION),
+        ),
+        ("suite".into(), Json::String(report.suite.clone())),
+        ("machines".into(), Json::Array(machines)),
     ])
 }
 

@@ -563,6 +563,35 @@ mod tests {
     }
 
     #[test]
+    fn per_request_emit_override_adds_the_digest_section() {
+        let (responses, stats) = serve_lines(
+            "{\"id\": 1, \"machine\": \"tav\", \"overrides\": \
+             {\"emit.enabled\": true, \"emit.target\": \"verilog\"}}\n\
+             {\"id\": 2, \"machine\": \"tav\"}\n",
+            1,
+        );
+        assert_eq!(stats.errors, 0);
+        for r in &responses {
+            let id = r.get("id").unwrap().as_u64().unwrap();
+            let report = r.get("report").unwrap();
+            let config = r.get("config").unwrap();
+            if id == 1 {
+                let emit = report.get("emit").expect("emit section present");
+                assert_eq!(emit.get("target").unwrap().as_str(), Some("verilog"));
+                let modules = emit.get("modules").unwrap().as_array().unwrap();
+                assert_eq!(modules.len(), 1);
+                assert_eq!(modules[0].get("file").unwrap().as_str(), Some("tav.v"));
+                assert!(modules[0].get("bytes").unwrap().as_u64().unwrap() > 0);
+                assert_eq!(config.get("emit_enabled"), Some(&Json::Bool(true)));
+                assert_eq!(config.get("emit_target").unwrap().as_str(), Some("verilog"));
+            } else {
+                assert_eq!(report.get("emit"), None);
+                assert_eq!(config.get("emit_enabled"), None);
+            }
+        }
+    }
+
+    #[test]
     fn per_request_analysis_override_adds_the_lint_section() {
         let (responses, stats) = serve_lines(
             "{\"id\": 1, \"machine\": \"tav\", \"overrides\": {\"analysis.enabled\": true, \

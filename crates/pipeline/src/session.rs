@@ -29,14 +29,17 @@ use crate::config::StcConfig;
 use crate::corpus::CorpusEntry;
 use crate::observe::{Event, NullObserver, Observer};
 use crate::report::{
-    AnalysisReport, BistReport, LogicReport, MachineReport, MachineStatus, OptimizeReport,
-    OptimizeSessionReport, SessionReport, SolveReport, SuiteReport, SuiteSummary,
-    TestPointSuggestion,
+    AnalysisReport, BistReport, EmitModuleDigest, EmitReport, LogicReport, MachineReport,
+    MachineStatus, OptimizeReport, OptimizeSessionReport, SessionReport, SolveReport, SuiteReport,
+    SuiteSummary, TestPointSuggestion,
 };
 use crate::runner::{GateLevelLimits, MachineTiming, SuiteRun};
 use stc_bist::{
     measure_plan_coverage, optimize_plan_with, pipeline_self_test, OptimizeOptions,
     OptimizeProgress, PlanCoverage, PlanOptimization, SelfTestResult, SessionOptimization,
+};
+use stc_emit::{
+    emit_rust, emit_verilog, sanitize_module_name, EmitTarget, EmittedModule, SelfTestSpec,
 };
 use stc_encoding::{EncodedPipeline, EncodingStrategy};
 use stc_fsm::{ceil_log2, Mealy};
@@ -63,6 +66,9 @@ pub mod stage_names {
     /// The static-analysis stage (optional): FSM lints, netlist structure
     /// checks and SCOAP testability metrics.
     pub const ANALYZE: &str = "analyze";
+    /// The code-generation stage (optional): compiles the decomposition and
+    /// BIST plan into a deployable self-testable controller module.
+    pub const EMIT: &str = "emit";
 }
 
 /// Hard-to-test nets reported per block by the analysis stage: enough to
@@ -330,6 +336,43 @@ impl OptimizedPlan {
     }
 }
 
+/// The seventh (optional) typed artifact: generated source code for the
+/// self-testable controller — the configured target's modules with the
+/// BIST plan's pattern sources and fault-free signatures baked into the
+/// embedded self-test.
+#[derive(Debug, Clone)]
+pub struct EmittedCode {
+    /// The machine's name.
+    pub name: String,
+    /// The code-generation target.
+    pub target: EmitTarget,
+    /// The generated modules (currently one per machine and target).
+    pub modules: Vec<EmittedModule>,
+}
+
+impl EmittedCode {
+    /// The report section for this artifact: digests only (module name,
+    /// file name, byte length, FNV-1a hash), keeping reports compact and
+    /// deterministic.  The source text lives in the artifact itself and is
+    /// written to disk by `stc emit --out`.
+    #[must_use]
+    pub fn emit_report(&self) -> EmitReport {
+        EmitReport {
+            target: self.target.as_str().to_string(),
+            modules: self
+                .modules
+                .iter()
+                .map(|m| EmitModuleDigest {
+                    module: m.module.clone(),
+                    file: m.file_name.clone(),
+                    bytes: m.source.len(),
+                    fnv1a: stc_emit::fnv1a(m.source.as_bytes()),
+                })
+                .collect(),
+        }
+    }
+}
+
 fn optimize_session_report(s: &SessionOptimization) -> OptimizeSessionReport {
     OptimizeSessionReport {
         block: s.block.clone(),
@@ -526,6 +569,15 @@ impl SynthesisBuilder {
     #[must_use]
     pub fn optimize(mut self, enabled: bool) -> Self {
         self.config.pipeline.optimize.enabled = enabled;
+        self
+    }
+
+    /// Enables or disables code generation ([`Synthesis::run`] stage 7;
+    /// off by default).  The backend knobs (`emit.target`,
+    /// `emit.module_name`) layer via [`Self::set`].
+    #[must_use]
+    pub fn emit(mut self, enabled: bool) -> Self {
+        self.config.emit.enabled = enabled;
         self
     }
 
@@ -895,6 +947,67 @@ impl Synthesis {
         }
     }
 
+    /// Resumes a flow from a [`BistPlan`], optionally refined by an
+    /// [`OptimizedPlan`]: generates the configured code target for the
+    /// controller.  With an optimized plan the emitted self-test uses the
+    /// optimizer's pattern sources and session lengths (signatures
+    /// recomputed for them); otherwise it bakes in the default plan's
+    /// signatures.
+    ///
+    /// Runs regardless of `emit.enabled` — the flag only controls whether
+    /// [`Self::run`] attaches an `emit` section automatically.  The module
+    /// name defaults to the sanitized machine name; a non-empty
+    /// `emit.module_name` overrides it (intended for single-machine runs).
+    #[must_use]
+    pub fn emit_code(&self, plan: &BistPlan, optimized: Option<&OptimizedPlan>) -> EmittedCode {
+        self.emit(Event::StageStarted {
+            machine: &plan.name,
+            stage: stage_names::EMIT,
+        });
+        let spec = match optimized {
+            Some(opt) => SelfTestSpec::from_optimized(plan.logic.as_ref(), &opt.result),
+            None => SelfTestSpec::from_plan(plan.logic.as_ref(), &plan.result),
+        };
+        let module_name = if self.config.emit.module_name.is_empty() {
+            sanitize_module_name(&plan.name)
+        } else {
+            sanitize_module_name(&self.config.emit.module_name)
+        };
+        let target = self.config.emit.target;
+        let module = match target {
+            EmitTarget::Rust => emit_rust(&module_name, plan.logic.as_ref(), &spec),
+            EmitTarget::Verilog => emit_verilog(&module_name, plan.logic.as_ref(), &spec),
+        };
+        self.emit(Event::StageFinished {
+            machine: &plan.name,
+            stage: stage_names::EMIT,
+        });
+        EmittedCode {
+            name: plan.name.clone(),
+            target,
+            modules: vec![module],
+        }
+    }
+
+    /// Drives one corpus entry through the typed flow up to code
+    /// generation — honoring the optimize stage when `coverage.optimize`
+    /// is enabled — and returns the emitted modules with their source
+    /// text.  This is the `stc emit` entry point; [`Self::run`] reports
+    /// digests only.
+    pub fn emit_machine(&self, entry: &CorpusEntry) -> Result<EmittedCode, SessionError> {
+        let decomposition = self.decompose_only(&entry.machine);
+        let encoded = self.encode(&decomposition)?;
+        let netlist = self.synthesize_logic(&encoded);
+        let plan = self.plan_bist(&netlist);
+        let optimized = self
+            .config
+            .pipeline
+            .optimize
+            .enabled
+            .then(|| self.optimize_plan_with_jobs(&plan, 1));
+        Ok(self.emit_code(&plan, optimized.as_ref()))
+    }
+
     /// Runs the machine-level static lints (unreachable states, mergeable
     /// states, input-column findings) with the session's `analysis.deny`
     /// list applied.
@@ -975,6 +1088,7 @@ impl Synthesis {
             bist: None,
             optimize: None,
             analysis: None,
+            emit: None,
         };
         let finish = |mut report: MachineReport, status: MachineStatus| {
             report.status = status;
@@ -1092,7 +1206,9 @@ impl Synthesis {
 
         // Stage 6 (optional): coverage-driven plan optimization.  Serial
         // fault-chunk workers for the same reason as the coverage stage,
-        // and its own stage-deadline window.
+        // and its own stage-deadline window.  The artifact is kept so that
+        // the emit stage can bake the optimized pattern sources in.
+        let mut optimized_plan: Option<OptimizedPlan> = None;
         if config.optimize.enabled {
             if self.observer.should_cancel() {
                 return finish(report, MachineStatus::Cancelled);
@@ -1100,6 +1216,22 @@ impl Synthesis {
             let stage = self.stage_deadline();
             let optimized = self.optimize_plan_with_jobs(&plan, 1);
             report.optimize = Some(optimized.optimize_report());
+            optimized_plan = Some(optimized);
+            if past(stage) {
+                return finish(report, MachineStatus::TimedOut);
+            }
+        }
+
+        // Stage 7 (optional): code generation.  Reports carry digests only
+        // (byte length plus FNV-1a hash per module), so the section stays
+        // compact and golden-diffable; `stc emit` returns the source text.
+        if self.config.emit.enabled {
+            if self.observer.should_cancel() {
+                return finish(report, MachineStatus::Cancelled);
+            }
+            let stage = self.stage_deadline();
+            let emitted = self.emit_code(&plan, optimized_plan.as_ref());
+            report.emit = Some(emitted.emit_report());
             if past(stage) {
                 return finish(report, MachineStatus::TimedOut);
             }
@@ -1151,6 +1283,7 @@ impl Synthesis {
                         bist: None,
                         optimize: None,
                         analysis: None,
+                        emit: None,
                     },
                     Duration::ZERO,
                 )
@@ -1252,6 +1385,9 @@ pub(crate) fn echo_config(config: &StcConfig) -> crate::report::ConfigEcho {
         optimize_max_total_length: p.optimize.max_total_length,
         analysis_enabled: config.analysis.enabled,
         analysis_deny: config.analysis.deny.clone(),
+        emit_enabled: config.emit.enabled,
+        emit_target: config.emit.target.as_str().to_string(),
+        emit_module_name: config.emit.module_name.clone(),
     }
 }
 
@@ -1402,6 +1538,54 @@ mod tests {
         // unchanged.
         assert_eq!(on.report.machines[0].solve, off.report.machines[0].solve);
         assert_eq!(on.report.machines[0].bist, off.report.machines[0].bist);
+    }
+
+    #[test]
+    fn emit_fields_appear_in_reports_only_when_enabled() {
+        let corpus = filter_by_names(embedded_corpus(), &["tav".to_string()]).unwrap();
+        let off = small_session().run_suite(&corpus, "test");
+        let off_json = off.report.to_json_string();
+        assert!(!off_json.contains("\"emit\""));
+        assert!(!off_json.contains("emit_enabled"));
+
+        let on = Synthesis::builder()
+            .max_nodes(10_000)
+            .patterns_per_session(32)
+            .emit(true)
+            .jobs(1)
+            .build()
+            .run_suite(&corpus, "test");
+        let on_json = on.report.to_json_string();
+        assert!(on_json.contains("\"emit_enabled\": true"));
+        assert!(on_json.contains("\"emit_target\": \"rust\""));
+        let emit = on.report.machines[0].emit.as_ref().unwrap();
+        assert_eq!(emit.target, "rust");
+        assert_eq!(emit.modules.len(), 1);
+        assert_eq!(emit.modules[0].module, "tav");
+        assert_eq!(emit.modules[0].file, "tav.rs");
+        assert!(emit.modules[0].bytes > 0);
+        // The emit stage is additive: every pre-existing section is
+        // unchanged.
+        assert_eq!(on.report.machines[0].solve, off.report.machines[0].solve);
+        assert_eq!(on.report.machines[0].bist, off.report.machines[0].bist);
+    }
+
+    #[test]
+    fn emit_machine_produces_both_targets_and_honours_the_name_override() {
+        let corpus = filter_by_names(embedded_corpus(), &["tav".to_string()]).unwrap();
+        let rust = small_session().emit_machine(&corpus[0]).unwrap();
+        assert_eq!(rust.target, EmitTarget::Rust);
+        assert!(rust.modules[0].source.contains("#![no_std]"));
+        assert!(rust.modules[0].source.contains("pub fn self_test"));
+
+        let mut builder = Synthesis::builder().max_nodes(10_000).jobs(1);
+        builder = builder.set("emit.target", "verilog").unwrap();
+        builder = builder.set("emit.module_name", "My Ctrl-2").unwrap();
+        let verilog = builder.build().emit_machine(&corpus[0]).unwrap();
+        assert_eq!(verilog.target, EmitTarget::Verilog);
+        assert_eq!(verilog.modules[0].file_name, "my_ctrl_2.v");
+        assert!(verilog.modules[0].source.contains("module my_ctrl_2"));
+        assert!(verilog.modules[0].source.contains("module my_ctrl_2_bist"));
     }
 
     #[test]

@@ -16,6 +16,11 @@
 //!   emitting the focused per-machine lint/testability JSON (FSM lints,
 //!   netlist structure checks, SCOAP hard-to-test nets); non-zero exit when
 //!   any finding reaches error severity (`--deny` promotes codes).
+//! * `stc emit` — the flow with the code-emission stage forced on, printing
+//!   the per-machine module digests as JSON and (with `--out DIR`) writing
+//!   the generated sources: allocation-free `no_std` Rust controllers with a
+//!   built-in two-session self-test, or structural Verilog with a BIST
+//!   wrapper (`--target rust|verilog`; see docs/EMIT.md).
 //! * `stc serve` — serve one-machine synthesis requests over
 //!   stdin/stdout (one JSON request per line, one JSON response per line).
 //! * `stc bench-check` — run the bench harness and compare against the
@@ -32,10 +37,10 @@
 
 use stc::analyze::Severity;
 use stc::pipeline::{
-    compare_benchmarks, coverage_json, embedded_corpus, filter_by_names, format_summary_table,
-    kiss2_corpus, lint_json, load_baseline_dir, optimize_json, search_stats_json, serve_with,
-    BenchMeasurement, CacheLimits, CorpusEntry, Event, NetOptions, NetServer, Observer,
-    PipelineError, ServeOptions, StcConfig, SuiteRun, Synthesis,
+    compare_benchmarks, coverage_json, embedded_corpus, emit_json, filter_by_names,
+    format_summary_table, kiss2_corpus, lint_json, load_baseline_dir, optimize_json,
+    search_stats_json, serve_with, BenchMeasurement, CacheLimits, CorpusEntry, Event, NetOptions,
+    NetServer, Observer, PipelineError, ServeOptions, StcConfig, SuiteRun, Synthesis,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -56,6 +61,11 @@ USAGE:
     stc lint [OPTIONS]           run the pipeline with the static-analysis stage
                                  and print the per-machine lint/testability JSON;
                                  exit 1 if any finding reaches error severity
+    stc emit [OPTIONS]           run the pipeline with the code-emission stage
+                                 and print the per-machine module-digest JSON;
+                                 --out DIR also writes the generated sources
+                                 (no_std Rust with a built-in self-test, or
+                                 Verilog with a BIST wrapper; see docs/EMIT.md)
     stc serve [OPTIONS]          serve synthesis requests over stdin/stdout, or
                                  over TCP with --listen (JSON lines; see
                                  docs/SERVE.md for the full protocol)
@@ -63,7 +73,7 @@ USAGE:
     stc bench-check [OPTIONS]    compare bench results against committed baselines
     stc help                     print this message
 
-CORPUS OPTIONS (run, coverage, optimize, lint, list):
+CORPUS OPTIONS (run, coverage, optimize, lint, emit, list):
     --suite embedded             the embedded 13-machine benchmark suite (default)
     --kiss2 <DIR>                load every *.kiss2 / *.kiss file of a directory
     --machine <NAME>             restrict to the named machine (repeatable)
@@ -105,6 +115,9 @@ RUN OPTIONS:
     --lint                       run the static-analysis stage (FSM lints,
                                  netlist structure checks, SCOAP metrics); adds
                                  an analysis section to each machine report
+    --emit                       run the code-emission stage; adds an emit
+                                 digest section (module, file, bytes, FNV-1a)
+                                 to each machine report
     --progress                   live per-stage / solver-progress events on stderr
     --out <FILE>                 write the JSON report to FILE instead of stdout
     --stats-out <FILE>           also write the per-machine search-effort stats
@@ -127,6 +140,15 @@ LINT OPTIONS (corpus + config options also apply):
     --out <FILE>                 write the lint JSON to FILE instead of stdout
     --deny <CODE[,CODE…]>        promote diagnostic codes to error severity
                                  (repeatable; same as --set analysis.deny=…)
+
+EMIT OPTIONS (corpus + config options also apply):
+    --target <T>                 codegen backend: rust (default) or verilog
+                                 (same as --set emit.target=…)
+    --module-name <NAME>         module-name override, sanitised to an
+                                 identifier (default: the machine name)
+    --out <DIR>                  also write the generated source files into DIR
+                                 (one .rs or .v file per gate-level machine);
+                                 the digest JSON still goes to stdout
 
 SERVE OPTIONS (config options also apply):
     --listen <ADDR>              serve over TCP at ADDR (e.g. 127.0.0.1:7878;
@@ -180,6 +202,7 @@ fn main() -> ExitCode {
         "coverage" => cmd_coverage(rest),
         "optimize" => cmd_optimize(rest),
         "lint" => cmd_lint(rest),
+        "emit" => cmd_emit(rest),
         "serve" => cmd_serve(rest),
         "list" => cmd_list(rest),
         "bench-check" => cmd_bench_check(rest),
@@ -430,6 +453,9 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             "--lint" => config_args
                 .overrides
                 .push(("analysis.enabled".into(), "true".into())),
+            "--emit" => config_args
+                .overrides
+                .push(("emit.enabled".into(), "true".into())),
             "--progress" => progress = true,
             "--out" => out = Some(PathBuf::from(take_value(flag, &mut iter)?)),
             "--stats-out" => stats_out = Some(PathBuf::from(take_value(flag, &mut iter)?)),
@@ -671,6 +697,81 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
     } else {
         ExitCode::SUCCESS
     })
+}
+
+/// `stc emit`: the pipeline with the code-emission stage forced on, emitting
+/// the focused per-machine module-digest JSON (which the CI `emit-gate`
+/// diffs against `tests/golden/emit.json`) and — with `--out DIR` — the
+/// generated source files themselves.
+fn cmd_emit(args: &[String]) -> Result<ExitCode, String> {
+    let mut corpus_args = CorpusArgs::new();
+    let mut config_args = ConfigArgs::new();
+    let mut out_dir: Option<PathBuf> = None;
+
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        if parse_corpus_flag(flag, &mut iter, &mut corpus_args)?
+            || config_args.parse_flag(flag, &mut iter)?
+        {
+            continue;
+        }
+        match flag.as_str() {
+            "--out" => out_dir = Some(PathBuf::from(take_value(flag, &mut iter)?)),
+            "--target" => config_args
+                .overrides
+                .push(("emit.target".into(), take_value(flag, &mut iter)?.clone())),
+            "--module-name" => config_args.overrides.push((
+                "emit.module_name".into(),
+                take_value(flag, &mut iter)?.clone(),
+            )),
+            other => return Err(format!("unknown flag '{other}' for 'stc emit'")),
+        }
+    }
+    let mut config = config_args.build()?;
+    config
+        .set("emit.enabled", "true")
+        .map_err(|e| e.to_string())?;
+    let jobs = config.resolve_jobs();
+
+    let (label, corpus) = corpus_args.load()?;
+    if corpus.is_empty() {
+        return Err(PipelineError::EmptyCorpus(label).to_string());
+    }
+    eprintln!(
+        "stc emit: {} machines from '{label}', {jobs} worker(s){}",
+        corpus.len(),
+        if config.jobs == 0 { " [auto]" } else { "" }
+    );
+
+    let session = Synthesis::builder().config(config).build();
+    let SuiteRun { report, .. } = session.run_suite(&corpus, &label);
+    eprint!("{}", format_summary_table(&report));
+
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        let mut written = 0usize;
+        for entry in &corpus {
+            match session.emit_machine(entry) {
+                Ok(code) => {
+                    for module in &code.modules {
+                        let path = dir.join(&module.file_name);
+                        std::fs::write(&path, &module.source)
+                            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                        written += 1;
+                    }
+                }
+                // Machines beyond the gate-level limits have no netlist to
+                // compile; their report rows already say solve-only.
+                Err(e) => eprintln!("stc emit: {}: skipped ({e})", entry.name()),
+            }
+        }
+        eprintln!("stc emit: wrote {written} module(s) to {}", dir.display());
+    }
+
+    let json = emit_json(&report).to_pretty();
+    print!("{json}");
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {

@@ -24,6 +24,7 @@
 //! | [`encoding`] | `stc-encoding` | `crates/encoding` | state assignment and bit-level machine views |
 //! | [`logic`] | `stc-logic` | `crates/logic` | two-level minimisation, netlists, area/delay estimation |
 //! | [`bist`] | `stc-bist` | `crates/bist` | LFSR/MISR/BILBO, fault simulation, architecture comparison |
+//! | [`emit`] | `stc-emit` | `crates/emit` | codegen backends: `no_std` Rust controllers and Verilog netlists with a BIST wrapper |
 //! | [`pipeline`] | `stc-pipeline` | `crates/pipeline` | corpus-level batch pipeline, parallel runner, JSON reports, perf-baseline checks |
 //!
 //! The staged flow is driven through one **session API**: a [`Synthesis`]
@@ -95,6 +96,9 @@
 //!         "coverage.optimize.max_total_length", // session-length budget (0 = 2x patterns)
 //!         "analysis.enabled",           // static lints + SCOAP testability
 //!         "analysis.deny",              // diagnostic codes promoted to error
+//!         "emit.enabled",               // codegen stage (controller + self-test)
+//!         "emit.target",                // rust | verilog
+//!         "emit.module_name",           // module-name override (empty = machine name)
 //!         "gate_level.max_states",      // gate-level stage |S| limit
 //!         "gate_level.max_inputs",      // gate-level input-alphabet limit
 //!         "machine_timeout_secs",       // per-machine wall-clock net (0 = none)
@@ -224,6 +228,11 @@ pub use stc_bist as bist;
 /// metrics (re-export of [`stc_analyze`]).
 pub use stc_analyze as analyze;
 
+/// Codegen backends: `no_std` Rust controllers with a built-in two-session
+/// self-test, and structural Verilog with a BIST wrapper (re-export of
+/// [`stc_emit`]).
+pub use stc_emit as emit;
+
 /// The corpus-level batch-synthesis pipeline, parallel runner and reports
 /// (re-export of [`stc_pipeline`]).
 pub use stc_pipeline as pipeline;
@@ -233,8 +242,8 @@ pub use stc_pipeline as pipeline;
 // `stc::pipeline::Netlist`; the root keeps `stc::logic::Netlist` for the
 // gate-level type.)
 pub use stc_pipeline::{
-    BistPlan, CancelFlag, ConfigError, CoverageReport, Decomposition, Encoded, Event, NullObserver,
-    Observer, OptimizedPlan, SessionError, StcConfig, Synthesis, SynthesisBuilder,
+    BistPlan, CancelFlag, ConfigError, CoverageReport, Decomposition, EmittedCode, Encoded, Event,
+    NullObserver, Observer, OptimizedPlan, SessionError, StcConfig, Synthesis, SynthesisBuilder,
 };
 
 /// The most commonly used items, for glob import in examples and tests.
