@@ -15,6 +15,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod scale;
+
 use serde::Serialize;
 use stc_bist::{evaluate_architectures, ArchitectureOptions, ArchitectureReport};
 use stc_fsm::benchmarks::{Benchmark, PaperTable1Row, PaperTable2Row};

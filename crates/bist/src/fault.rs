@@ -8,15 +8,19 @@
 //!   path is property-tested against it.
 //! * [`simulate_faults_packed`] — the production PP-SFP (parallel-pattern
 //!   single-fault propagation) simulator: patterns are packed 64 per
-//!   machine word ([`PackedPatterns`]), the good circuit is evaluated once
-//!   per word, and each fault is re-evaluated word-wise with *fault
-//!   dropping* (a fault detected by an earlier word is never simulated
-//!   against later words).  Fault-chunk workers parallelise over the fault
-//!   list deterministically: the report is byte-identical for any worker
-//!   count, and identical to the scalar reference.
+//!   machine word ([`PackedPatterns`]) and grouped [`PACKED_WORDS`] words
+//!   per SIMD-wide superblock, so one netlist sweep
+//!   ([`stc_logic::Netlist::eval_packed_wide_into`]) evaluates 256
+//!   patterns.  Each fault is re-evaluated superblock-wise with *fault
+//!   dropping* (a fault detected by an earlier superblock is never
+//!   simulated against later ones).  Fault-stride workers parallelise over
+//!   the fault list deterministically: the report is byte-identical for any
+//!   worker count, and identical to the scalar reference.  Fault lists
+//!   shorter than [`MIN_PARALLEL_FAULTS`] run serially regardless of the
+//!   requested job count — thread spawn/join overhead dominates such lists.
 
 use serde::{Deserialize, Serialize};
-use stc_logic::{Netlist, NodeId, PACKED_LANES};
+use stc_logic::{Netlist, NodeId, WideWord, PACKED_LANES, PACKED_WORDS};
 
 /// A single stuck-at fault: one netlist node permanently forced to a value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -209,19 +213,82 @@ impl PackedPatterns {
             (1u64 << filled) - 1
         }
     }
+
+    /// Number of SIMD-wide superblocks ([`PACKED_WORDS`] blocks each, the
+    /// last possibly zero-padded).
+    #[must_use]
+    pub fn num_superblocks(&self) -> usize {
+        self.blocks.len().div_ceil(PACKED_WORDS)
+    }
+
+    /// The input groups of superblock `s`: one [`WideWord`] per input line,
+    /// word `w` holding block `s * PACKED_WORDS + w` of that input.  Words
+    /// past the last block are zero; [`Self::wide_lane_masks`] masks them
+    /// out of any comparison.
+    #[must_use]
+    pub fn wide_block(&self, s: usize) -> Vec<WideWord> {
+        let base = s * PACKED_WORDS;
+        (0..self.num_inputs)
+            .map(|i| std::array::from_fn(|w| self.blocks.get(base + w).map_or(0, |words| words[i])))
+            .collect()
+    }
+
+    /// Valid-lane masks of superblock `s`, one per word: [`Self::lane_mask`]
+    /// of the underlying block, or zero for padding words past the last
+    /// block.
+    #[must_use]
+    pub fn wide_lane_masks(&self, s: usize) -> WideWord {
+        let base = s * PACKED_WORDS;
+        std::array::from_fn(|w| {
+            if base + w < self.blocks.len() {
+                self.lane_mask(base + w)
+            } else {
+                0
+            }
+        })
+    }
+}
+
+/// Fault lists shorter than this run serially no matter how many jobs were
+/// requested: with fault dropping, most faults on such lists die within a
+/// superblock or two, and thread spawn/join overhead exceeds the simulation
+/// itself (measured as the `fault_sim/packed_parallel4` regression on the
+/// small MCNC controllers).
+pub const MIN_PARALLEL_FAULTS: usize = 256;
+
+/// The worker count [`simulate_faults_packed`] actually uses for a fault
+/// list of `fault_count` faults when `jobs` workers are requested.
+///
+/// Returns 1 below [`MIN_PARALLEL_FAULTS`]; otherwise the requested count
+/// clamped to the machine's available parallelism (oversubscribing cores
+/// only adds scheduling noise) and to the fault count.  The clamp is purely
+/// a scheduling decision — the report is byte-identical for every worker
+/// count — so callers may pass any `jobs` value safely.
+#[must_use]
+pub fn effective_fault_jobs(fault_count: usize, jobs: usize) -> usize {
+    if fault_count < MIN_PARALLEL_FAULTS {
+        return 1;
+    }
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    jobs.max(1).min(cores).min(fault_count)
 }
 
 /// Bit-parallel (PP-SFP) single-stuck-at fault simulation with fault
 /// dropping: the exact counterpart of the scalar [`simulate_faults`]
-/// reference, ~64 patterns per netlist evaluation.
+/// reference, [`PACKED_WORDS`] × 64 patterns per netlist sweep.
 ///
-/// The good circuit is evaluated once per pattern block; each fault is then
-/// re-evaluated block-wise and *dropped* at the first block in which an
-/// observed output word differs (within the block's valid-lane mask).
-/// `jobs > 1` splits the fault list into contiguous chunks simulated by
-/// scoped worker threads; faults are independent of each other, chunk
-/// results are joined in chunk order, and the report — including the order
-/// of the `undetected` list — is byte-identical for any worker count.
+/// The good circuit is evaluated once per SIMD-wide superblock
+/// ([`PackedPatterns::wide_block`]); each fault is then re-evaluated
+/// superblock-wise and *dropped* at the first superblock in which an
+/// observed output group differs (within the superblock's valid-lane
+/// masks).  `jobs > 1` parallelises over the fault list with a *strided*
+/// assignment — worker `w` of `n` takes faults `w, w + n, w + 2n, …` — so
+/// expensive undetected faults (which sweep every superblock) spread evenly
+/// across workers instead of clustering in one contiguous chunk.  Faults
+/// are independent of each other and undetected faults are merged back in
+/// fault-list order, so the report is byte-identical for any worker count.
+/// The worker count actually used is [`effective_fault_jobs`]`(faults.len(),
+/// jobs)`: short fault lists fall back to serial.
 ///
 /// # Panics
 ///
@@ -236,6 +303,27 @@ pub fn simulate_faults_packed(
     observable_outputs: Option<&[usize]>,
     jobs: usize,
 ) -> FaultSimReport {
+    simulate_faults_packed_with_workers(
+        netlist,
+        patterns,
+        faults,
+        observable_outputs,
+        effective_fault_jobs(faults.len(), jobs),
+    )
+}
+
+/// The engine behind [`simulate_faults_packed`], with the worker count
+/// taken literally (no [`effective_fault_jobs`] clamp).  Kept separate so
+/// determinism tests can exercise real multi-worker schedules even on
+/// machines (and fault lists) where the public entry point would fall back
+/// to serial.
+fn simulate_faults_packed_with_workers(
+    netlist: &Netlist,
+    patterns: &[Vec<bool>],
+    faults: &[StuckAtFault],
+    observable_outputs: Option<&[usize]>,
+    workers: usize,
+) -> FaultSimReport {
     let packed = PackedPatterns::pack(netlist.num_inputs(), patterns);
     // The observed output *nodes*, resolved once.
     let observed_nodes: Vec<NodeId> = match observable_outputs {
@@ -243,71 +331,78 @@ pub fn simulate_faults_packed(
         Some(idx) => idx.iter().map(|&i| netlist.outputs()[i]).collect(),
     };
 
-    // Good-circuit responses: per block, one word per observed output.
-    let mut scratch: Vec<u64> = Vec::new();
-    let mut good: Vec<Vec<u64>> = Vec::with_capacity(packed.num_blocks());
-    for b in 0..packed.num_blocks() {
-        netlist.eval_packed_into(packed.block(b), None, &mut scratch);
+    // Superblock inputs, valid-lane masks and good-circuit responses (one
+    // group per observed output), each computed once up front.
+    let wide_blocks: Vec<Vec<WideWord>> = (0..packed.num_superblocks())
+        .map(|s| packed.wide_block(s))
+        .collect();
+    let wide_masks: Vec<WideWord> = (0..packed.num_superblocks())
+        .map(|s| packed.wide_lane_masks(s))
+        .collect();
+    let mut scratch: Vec<WideWord> = Vec::new();
+    let mut good: Vec<Vec<WideWord>> = Vec::with_capacity(wide_blocks.len());
+    for inputs in &wide_blocks {
+        netlist.eval_packed_wide_into(inputs, None, &mut scratch);
         good.push(observed_nodes.iter().map(|&n| scratch[n]).collect());
     }
 
-    // One fault chunk per worker; a fault's verdict depends only on the
-    // fault itself, so chunking is invisible in the result.
-    let jobs = jobs.max(1).min(faults.len().max(1));
-    let chunk_len = faults.len().div_ceil(jobs).max(1);
-    let chunks: Vec<&[StuckAtFault]> = faults.chunks(chunk_len).collect();
-    let simulate_chunk = |chunk: &[StuckAtFault]| -> (usize, Vec<StuckAtFault>) {
-        let mut scratch: Vec<u64> = Vec::new();
+    let workers = workers.max(1).min(faults.len().max(1));
+    // Strided fault assignment: a fault's verdict depends only on the fault
+    // itself, so the stride is invisible in the result once undetected
+    // faults are re-sorted by original index (= the serial visiting order).
+    let simulate_stride = |start: usize| -> (usize, Vec<usize>) {
+        let mut scratch: Vec<WideWord> = Vec::new();
         let mut detected = 0usize;
         let mut undetected = Vec::new();
-        'faults: for fault in chunk {
-            for (b, good_words) in good.iter().enumerate() {
-                netlist.eval_packed_into(
-                    packed.block(b),
+        'faults: for idx in (start..faults.len()).step_by(workers) {
+            let fault = &faults[idx];
+            for ((inputs, masks), good_groups) in wide_blocks.iter().zip(&wide_masks).zip(&good) {
+                netlist.eval_packed_wide_into(
+                    inputs,
                     Some((fault.node, fault.stuck_at)),
                     &mut scratch,
                 );
-                let mask = packed.lane_mask(b);
-                let differs = observed_nodes
-                    .iter()
-                    .zip(good_words)
-                    .any(|(&n, &g)| (scratch[n] ^ g) & mask != 0);
+                let differs = observed_nodes.iter().zip(good_groups).any(|(&n, g)| {
+                    let v = &scratch[n];
+                    (0..PACKED_WORDS).any(|w| (v[w] ^ g[w]) & masks[w] != 0)
+                });
                 if differs {
                     // Fault dropping: detected faults leave the simulation.
                     detected += 1;
                     continue 'faults;
                 }
             }
-            undetected.push(*fault);
+            undetected.push(idx);
         }
         (detected, undetected)
     };
 
-    let results: Vec<(usize, Vec<StuckAtFault>)> = if chunks.len() <= 1 {
-        chunks.iter().map(|c| simulate_chunk(c)).collect()
+    let results: Vec<(usize, Vec<usize>)> = if workers <= 1 {
+        vec![simulate_stride(0)]
     } else {
         std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .map(|chunk| scope.spawn(|| simulate_chunk(chunk)))
+            let simulate_stride = &simulate_stride;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| scope.spawn(move || simulate_stride(w)))
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("fault-chunk worker panicked"))
+                .map(|h| h.join().expect("fault-stride worker panicked"))
                 .collect()
         })
     };
 
     let mut detected = 0usize;
-    let mut undetected = Vec::new();
+    let mut undetected_idx: Vec<usize> = Vec::new();
     for (d, mut u) in results {
         detected += d;
-        undetected.append(&mut u);
+        undetected_idx.append(&mut u);
     }
+    undetected_idx.sort_unstable();
     FaultSimReport {
         total_faults: faults.len(),
         detected,
-        undetected,
+        undetected: undetected_idx.into_iter().map(|i| faults[i]).collect(),
         patterns: patterns.len(),
     }
 }
@@ -496,11 +591,68 @@ mod tests {
             !serial.undetected.is_empty(),
             "test needs undetected faults"
         );
-        for jobs in [2, 3, 5, 8, 64] {
-            let parallel = simulate_faults_packed(&n, &patterns, &faults, None, jobs);
-            assert_eq!(serial, parallel, "jobs = {jobs}");
+        // Drive the worker engine directly: the public entry point would
+        // fall back to serial for a fault list this small (and clamp to
+        // this machine's core count), which would leave the multi-worker
+        // schedules untested.
+        for workers in [2, 3, 5, 8, 64] {
+            let parallel =
+                simulate_faults_packed_with_workers(&n, &patterns, &faults, None, workers);
+            assert_eq!(serial, parallel, "workers = {workers}");
         }
         assert_eq!(serial, simulate_faults(&n, &patterns, &faults, None));
+    }
+
+    #[test]
+    fn small_fault_lists_fall_back_to_a_single_worker() {
+        // The threshold is pinned: lowering it silently would reintroduce
+        // the `fault_sim/packed_parallel4` spawn-overhead regression on the
+        // small MCNC controllers.
+        assert_eq!(MIN_PARALLEL_FAULTS, 256);
+        assert_eq!(effective_fault_jobs(0, 8), 1);
+        assert_eq!(effective_fault_jobs(MIN_PARALLEL_FAULTS - 1, 64), 1);
+        assert_eq!(effective_fault_jobs(MIN_PARALLEL_FAULTS, 0), 1);
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        assert_eq!(
+            effective_fault_jobs(MIN_PARALLEL_FAULTS, 8),
+            8.min(cores).min(MIN_PARALLEL_FAULTS)
+        );
+        assert!(effective_fault_jobs(1 << 20, usize::MAX) <= cores);
+    }
+
+    #[test]
+    fn wide_superblocks_tile_the_narrow_blocks() {
+        // 130 patterns of width 3: 3 narrow blocks → 1 superblock with one
+        // zero-padded word.
+        let patterns = lfsr_patterns(3, 130, 9);
+        let packed = PackedPatterns::pack(3, &patterns);
+        assert_eq!(packed.num_blocks(), 3);
+        assert_eq!(packed.num_superblocks(), 1);
+        let wide = packed.wide_block(0);
+        let masks = packed.wide_lane_masks(0);
+        assert_eq!(wide.len(), 3);
+        for i in 0..3 {
+            for w in 0..PACKED_WORDS {
+                let expect = if w < packed.num_blocks() {
+                    packed.block(w)[i]
+                } else {
+                    0
+                };
+                assert_eq!(wide[i][w], expect, "input {i} word {w}");
+            }
+        }
+        for w in 0..PACKED_WORDS {
+            let expect = if w < packed.num_blocks() {
+                packed.lane_mask(w)
+            } else {
+                0
+            };
+            assert_eq!(masks[w], expect, "mask word {w}");
+        }
+        // 5 blocks → 2 superblocks.
+        let packed = PackedPatterns::pack(2, &lfsr_patterns(2, 64 * 4 + 1, 3));
+        assert_eq!(packed.num_superblocks(), 2);
+        assert_eq!(packed.wide_lane_masks(1), [1, 0, 0, 0]);
     }
 
     #[test]
@@ -555,14 +707,22 @@ mod proptests {
             covers in proptest::collection::vec(arb_cover(4, 4), 1..=3),
             pattern_count in 0usize..80,
             seed in 1u64..1000,
-            jobs in 1usize..5,
+            workers in 1usize..5,
         ) {
             let netlist = Netlist::from_covers(4, &covers);
             let faults = fault_list(&netlist);
             let patterns = lfsr_patterns(4, pattern_count, seed);
             let scalar = simulate_faults(&netlist, &patterns, &faults, None);
-            let packed = simulate_faults_packed(&netlist, &patterns, &faults, None, jobs);
-            prop_assert_eq!(scalar, packed);
+            // The internal engine, so multi-worker stride schedules are
+            // exercised even though these fault lists sit below the
+            // MIN_PARALLEL_FAULTS serial-fallback threshold.
+            let packed = simulate_faults_packed_with_workers(
+                &netlist, &patterns, &faults, None, workers);
+            prop_assert_eq!(&scalar, &packed);
+            prop_assert_eq!(
+                &packed,
+                &simulate_faults_packed(&netlist, &patterns, &faults, None, workers)
+            );
         }
     }
 }

@@ -50,7 +50,9 @@ pub use error::SynthError;
 pub use naive::{solve_naive, NaiveStats, NAIVE_STATE_LIMIT};
 pub use observe::{NullSearchObserver, SearchObserver, PROGRESS_INTERVAL};
 pub use realization::{FactorTables, Realization, RealizationViolation};
-pub use solver::{solve, OstrOutcome, OstrSolution, OstrSolver, SearchStats, SolverConfig};
+pub use solver::{
+    solve, OstrOutcome, OstrSolution, OstrSolver, PreparedOstr, SearchStats, SolverConfig,
+};
 #[allow(deprecated)]
 pub use stage::SolveStage;
 pub use stage::Solved;

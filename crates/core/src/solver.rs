@@ -65,6 +65,13 @@ pub struct SolverConfig {
     /// deterministic: solution and statistics are byte-identical to a
     /// serial run with the same configuration.
     pub parallel_subtrees: usize,
+    /// Seed of the work-stealing victim-selection streams used when
+    /// `parallel_subtrees > 1`.  Scheduling-only: *any* seed produces the
+    /// same solution and statistics, because stolen work is validated
+    /// against the serial schedule before it is accepted (`DESIGN.md`
+    /// §12); the knob exists so the determinism claim is testable across
+    /// schedules.
+    pub steal_seed: u64,
 }
 
 impl Default for SolverConfig {
@@ -76,6 +83,7 @@ impl Default for SolverConfig {
             stop_at_lower_bound: false,
             branch_and_bound: true,
             parallel_subtrees: 1,
+            steal_seed: 0,
         }
     }
 }
@@ -219,18 +227,43 @@ impl OstrSolver {
     /// set, so a cancelled search still yields a well-formed outcome.
     #[must_use]
     pub fn solve_observed(&self, machine: &Mealy, observer: &dyn SearchObserver) -> OstrOutcome {
+        self.solve_prepared_observed(&PreparedOstr::new(machine), observer)
+    }
+
+    /// Runs the search on a machine prepared with [`PreparedOstr::new`],
+    /// reusing its precomputed ε and symmetric-pair basis.
+    ///
+    /// Byte-identical (solution and statistics, wall clock aside) to
+    /// [`Self::solve`] on the underlying machine; only the setup cost is
+    /// amortised.
+    #[must_use]
+    pub fn solve_prepared(&self, prepared: &PreparedOstr) -> OstrOutcome {
+        self.solve_prepared_observed(prepared, &NullSearchObserver)
+    }
+
+    /// [`Self::solve_prepared`] with a side-channel [`SearchObserver`].
+    #[must_use]
+    pub fn solve_prepared_observed(
+        &self,
+        prepared: &PreparedOstr,
+        observer: &dyn SearchObserver,
+    ) -> OstrOutcome {
         let start = Instant::now();
-        let n = machine.num_states();
-        let eps = state_equivalence(machine);
-        let basis = symmetric_basis(machine);
         let deadline = self.config.time_limit.map(|d| start + d);
-        let problem = engine::SearchProblem::new(n, &eps, &basis, self.config, deadline, observer);
+        let problem = engine::SearchProblem::new(
+            prepared.n,
+            &prepared.eps,
+            &prepared.basis,
+            self.config,
+            deadline,
+            observer,
+        );
         let (best, engine_stats) = engine::run_search(&problem);
         if engine_stats.exhausted && !engine_stats.cancelled {
             observer.on_budget_exhausted();
         }
         let stats = SearchStats {
-            basis_size: basis.len(),
+            basis_size: prepared.basis.len(),
             nodes_investigated: engine_stats.nodes,
             subtrees_pruned: engine_stats.pruned,
             subtrees_bound_pruned: engine_stats.bound_pruned,
@@ -240,6 +273,41 @@ impl OstrSolver {
             elapsed_micros: start.elapsed().as_micros() as u64,
         };
         OstrOutcome { best, stats }
+    }
+}
+
+/// A machine prepared for repeated OSTR searches: the state-equivalence
+/// partition ε and the symmetric-pair basis 𝔐 — the serial, search-invariant
+/// setup of [`OstrSolver::solve`] — computed once and reused across solves.
+///
+/// Solving the same machine under several configurations (different budgets,
+/// worker counts, steal seeds) repays the basis construction only once;
+/// [`OstrSolver::solve_prepared`] is byte-identical to [`OstrSolver::solve`]
+/// per call.  The scale benches use this to measure the parallel *search* in
+/// isolation: the basis is identical serial work in every configuration and
+/// would otherwise flatten any speedup-vs-threads curve.
+#[derive(Debug, Clone)]
+pub struct PreparedOstr {
+    n: usize,
+    eps: Partition,
+    basis: Vec<(Partition, Partition)>,
+}
+
+impl PreparedOstr {
+    /// Computes ε and the symmetric-pair basis of `machine`.
+    #[must_use]
+    pub fn new(machine: &Mealy) -> Self {
+        Self {
+            n: machine.num_states(),
+            eps: state_equivalence(machine),
+            basis: symmetric_basis(machine),
+        }
+    }
+
+    /// Size of the symmetric-pair basis `|𝔐|`.
+    #[must_use]
+    pub fn basis_size(&self) -> usize {
+        self.basis.len()
     }
 }
 
@@ -286,6 +354,33 @@ mod tests {
         let outcome = solve(&m);
         assert_eq!(outcome.best.cost, Cost::new(2, 2));
         assert_eq!(outcome.pipeline_flipflops(), 2);
+    }
+
+    #[test]
+    fn prepared_solve_is_byte_identical_to_solve() {
+        for name in ["shiftreg", "bbara"] {
+            let m = benchmarks::by_name(name).unwrap().machine;
+            let prepared = PreparedOstr::new(&m);
+            for jobs in [1usize, 4] {
+                let solver = OstrSolver::new(SolverConfig {
+                    max_nodes: 5_000,
+                    parallel_subtrees: jobs,
+                    ..SolverConfig::default()
+                });
+                let direct = solver.solve(&m);
+                // Repeated solves on the same prepared machine must all agree
+                // with the direct solve — setup is amortised, nothing else.
+                for _ in 0..2 {
+                    let via_prepared = solver.solve_prepared(&prepared);
+                    assert_eq!(direct.best, via_prepared.best, "{name} jobs={jobs}");
+                    let (mut a, mut b) = (direct.stats, via_prepared.stats);
+                    a.elapsed_micros = 0;
+                    b.elapsed_micros = 0;
+                    assert_eq!(a, b, "{name} jobs={jobs}");
+                }
+            }
+            assert_eq!(prepared.basis_size(), symmetric_basis(&m).len());
+        }
     }
 
     #[test]
@@ -387,6 +482,7 @@ mod tests {
                 stop_at_lower_bound: true,
                 branch_and_bound: false,
                 parallel_subtrees: 1,
+                steal_seed: 0,
             })
             .solve(&m);
             assert_eq!(outcome.stats.basis_size, basis, "{name}");

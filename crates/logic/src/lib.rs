@@ -10,9 +10,9 @@
 //!
 //! * [`Cube`], [`Cover`] — product terms and sums of products with an
 //!   Espresso-style EXPAND/IRREDUNDANT/REDUCE minimiser;
-//! * [`Netlist`] — two-level AND-OR netlists with evaluation (scalar and
-//!   64-patterns-per-word packed, both with fault injection), levelization,
-//!   gate/literal counts and depth;
+//! * [`Netlist`] — two-level AND-OR netlists with evaluation (scalar,
+//!   64-patterns-per-word packed, and a 256-pattern SIMD-wide sweep, all
+//!   with fault injection), levelization, gate/literal counts and depth;
 //! * [`synthesize_controller`], [`synthesize_pipeline`] — end-to-end logic
 //!   synthesis of the monolithic (Fig. 1) and pipeline (Fig. 4) controller
 //!   structures.
@@ -44,7 +44,7 @@ mod synth;
 pub use cover::Cover;
 pub use cube::{Cube, Literal};
 pub use error::LogicError;
-pub use netlist::{Gate, Netlist, NodeId, PACKED_LANES};
+pub use netlist::{Gate, Netlist, NodeId, WideWord, PACKED_LANES, PACKED_WORDS};
 #[allow(deprecated)]
 pub use stage::LogicStage;
 pub use synth::{
@@ -123,6 +123,35 @@ mod proptests {
         fn cover_equivalence_is_reflexive_and_symmetric(a in arb_cover(3, 4), b in arb_cover(3, 4)) {
             prop_assert!(a.equivalent(&a));
             prop_assert_eq!(a.equivalent(&b), b.equivalent(&a));
+        }
+
+        #[test]
+        fn wide_evaluation_is_packed_words_narrow_sweeps(
+            covers in proptest::collection::vec(arb_cover(5, 5), 1..=3),
+            flat_words in proptest::collection::vec(any::<u64>(), 20..=20),
+            fault_site in 0usize..64,
+            stuck in any::<bool>(),
+        ) {
+            let wide_inputs: Vec<WideWord> = flat_words
+                .chunks_exact(PACKED_WORDS)
+                .map(|c| [c[0], c[1], c[2], c[3]])
+                .collect();
+            let netlist = Netlist::from_covers(5, &covers);
+            let fault = (fault_site < netlist.gates().len()).then_some((fault_site, stuck));
+            let mut wide = Vec::new();
+            netlist.eval_packed_wide_into(&wide_inputs, fault, &mut wide);
+            prop_assert_eq!(wide.len(), netlist.gates().len());
+            let mut narrow = Vec::new();
+            for w in 0..PACKED_WORDS {
+                let words: Vec<u64> = wide_inputs.iter().map(|g| g[w]).collect();
+                netlist.eval_packed_into(&words, fault, &mut narrow);
+                for (id, group) in wide.iter().enumerate() {
+                    prop_assert_eq!(
+                        group[w], narrow[id],
+                        "node {} word {} fault {:?}", id, w, fault
+                    );
+                }
+            }
         }
 
         #[test]

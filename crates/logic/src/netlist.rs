@@ -13,6 +13,20 @@ pub type NodeId = usize;
 /// to pattern `k` of the block.
 pub const PACKED_LANES: usize = 64;
 
+/// Number of `u64` pattern words processed side by side per node in the wide
+/// evaluation path ([`Netlist::eval_packed_wide_into`]).  One wide sweep
+/// therefore evaluates `PACKED_WORDS * PACKED_LANES` = 256 patterns.  The
+/// width is chosen so a node's value group fills one AVX2 register (4 × 64
+/// bits) while still autovectorizing to paired SSE2 operations on baseline
+/// x86-64 — the per-lane loops in the evaluator are fixed-trip-count and
+/// branch-free precisely so stable rustc can vectorize them without
+/// `std::simd`.
+pub const PACKED_WORDS: usize = 4;
+
+/// A group of [`PACKED_WORDS`] pattern words: the unit of data carried per
+/// node by [`Netlist::eval_packed_wide_into`].
+pub type WideWord = [u64; PACKED_WORDS];
+
 /// A combinational gate.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Gate {
@@ -328,6 +342,73 @@ impl Netlist {
         let mut values = Vec::new();
         self.eval_packed_into(inputs, fault, &mut values);
         self.outputs.iter().map(|&o| values[o]).collect()
+    }
+
+    /// The allocation-free wide (SIMD-shaped) counterpart of
+    /// [`Self::eval_packed_into`]: each node carries a group of
+    /// [`PACKED_WORDS`] pattern words, so one netlist sweep evaluates
+    /// `PACKED_WORDS × PACKED_LANES` = 256 patterns.  The per-gate loops run
+    /// over fixed-length `[u64; PACKED_WORDS]` arrays with no data-dependent
+    /// control flow, which the compiler autovectorizes (SSE2/AVX2 on
+    /// x86-64); `std::simd` is nightly-only, so the explicit unrolled form
+    /// is the stable-toolchain spelling of the same kernel.  Besides the
+    /// vector width, the win over four narrow sweeps is that the gate
+    /// dispatch (enum match + fan-in walk) is amortised 4x.
+    /// Bit-for-bit equivalent to [`PACKED_WORDS`] narrow sweeps
+    /// (property-tested).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary inputs or
+    /// the fault node id is out of range.
+    pub fn eval_packed_wide_into(
+        &self,
+        inputs: &[WideWord],
+        fault: Option<(NodeId, bool)>,
+        values: &mut Vec<WideWord>,
+    ) {
+        assert_eq!(inputs.len(), self.num_inputs, "input width mismatch");
+        if let Some((node, _)) = fault {
+            assert!(node < self.gates.len(), "fault node out of range");
+        }
+        values.clear();
+        values.resize(self.gates.len(), [0; PACKED_WORDS]);
+        for (id, gate) in self.gates.iter().enumerate() {
+            let group: WideWord = match gate {
+                Gate::Input(i) => inputs[*i],
+                Gate::Const(c) => [if *c { u64::MAX } else { 0 }; PACKED_WORDS],
+                Gate::Not(a) => {
+                    let v = &values[*a];
+                    std::array::from_fn(|w| !v[w])
+                }
+                Gate::And(xs) => {
+                    let mut acc = [u64::MAX; PACKED_WORDS];
+                    for &x in xs {
+                        let v = &values[x];
+                        for w in 0..PACKED_WORDS {
+                            acc[w] &= v[w];
+                        }
+                    }
+                    acc
+                }
+                Gate::Or(xs) => {
+                    let mut acc = [0u64; PACKED_WORDS];
+                    for &x in xs {
+                        let v = &values[x];
+                        for w in 0..PACKED_WORDS {
+                            acc[w] |= v[w];
+                        }
+                    }
+                    acc
+                }
+            };
+            values[id] = match fault {
+                Some((node, stuck)) if node == id => {
+                    [if stuck { u64::MAX } else { 0 }; PACKED_WORDS]
+                }
+                _ => group,
+            };
+        }
     }
 
     /// The allocation-free core of the packed path: evaluates all 64 lanes

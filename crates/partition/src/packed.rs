@@ -24,6 +24,20 @@
 //! (`join_assign` ⇔ [`crate::Partition::join`], [`PackedPartition::is_refinement_of`] ⇔
 //! [`crate::Partition::refines`], [`meets_within`] ⇔
 //! [`crate::Partition::intersection_within`]).
+//!
+//! # Why these kernels are not SIMD-wide
+//!
+//! Unlike the bit-packed logic/BIST evaluators (which carry 64 independent
+//! patterns per word and widen further to `[u64; 4]` groups), the partition
+//! kernels chase *labels through memory*: union–find parent updates in
+//! [`PackedPartition::join_assign`] and the stamp-dedup chains in
+//! [`meets_within`] have a loop-carried data dependence (element `x`'s
+//! outcome feeds the state element `x + 1` reads), so they cannot process
+//! several elements per step.  What *can* be straightened is the read-only
+//! refinement check: [`PackedPartition::is_refinement_of`] exploits the
+//! canonical first-occurrence labelling to replace the per-element bitset
+//! probe with an integer compare and accumulates mismatches branch-free in
+//! 64-element chunks, which is the unroll-friendly form of the same test.
 
 use crate::partition::Partition;
 
@@ -272,6 +286,15 @@ impl PackedPartition {
     /// Returns `true` if `self` refines `other` (`self ≤ other`): every block
     /// of `self` lies inside a block of `other`.  Allocation-free.
     ///
+    /// Every `PackedPartition` carries canonical first-occurrence labels
+    /// (blocks numbered by smallest element — constructed that way and
+    /// preserved by [`Self::join_assign`]), so scanning left to right,
+    /// element `x` opens a new `self`-block iff its label equals the count
+    /// of blocks seen so far.  That turns the "first sighting of this
+    /// block" test into one integer compare — no bitset probe, no clearing
+    /// pass — and lets the loop accumulate mismatches branch-free,
+    /// early-exiting once per 64-element chunk instead of per element.
+    ///
     /// # Panics
     ///
     /// Panics (debug assertion) if the ground sets differ.
@@ -279,15 +302,24 @@ impl PackedPartition {
         debug_assert_eq!(self.n, other.n, "ground sets must match");
         let n = self.n as usize;
         scratch.ensure(n);
-        scratch.relabel_seen.clear(self.num_blocks as usize);
-        for x in 0..n {
-            let b = self.labels[x] as usize;
-            if scratch.relabel_seen.test_and_set(b) {
-                if scratch.relabel[b] != other.labels[x] {
-                    return false;
+        // `relabel[b]` caches the `other`-label witnessed by block `b`'s
+        // first element; `self` refines `other` iff every later element of
+        // the block sees the same witness.
+        let mut fresh = 0u32;
+        for chunk_start in (0..n).step_by(64) {
+            let end = (chunk_start + 64).min(n);
+            let mut mismatch = false;
+            for x in chunk_start..end {
+                let l = self.labels[x];
+                let o = other.labels[x];
+                if l == fresh {
+                    scratch.relabel[l as usize] = o;
+                    fresh += 1;
                 }
-            } else {
-                scratch.relabel[b] = other.labels[x];
+                mismatch |= scratch.relabel[l as usize] != o;
+            }
+            if mismatch {
+                return false;
             }
         }
         true

@@ -180,6 +180,27 @@ proptest! {
         prop_assert_eq!(pb.is_refinement_of(&pa, &mut scratch), b.refines(&a));
     }
 
+    /// Ground sets past 64 elements exercise the chunked branch-free form of
+    /// `is_refinement_of` (one early-exit per 64-element chunk) and its
+    /// reliance on canonical first-occurrence labels on larger inputs.
+    #[test]
+    fn packed_refinement_agrees_with_refines_across_chunk_boundaries(
+        labels_a in proptest::collection::vec(0usize..12, 150..=150),
+        labels_b in proptest::collection::vec(0usize..12, 150..=150),
+    ) {
+        let a = Partition::from_labels(&labels_a);
+        let b = Partition::from_labels(&labels_b);
+        let joined = a.join(&b).unwrap();
+        let mut scratch = PackedScratch::new();
+        let pa = PackedPartition::from_partition(&a);
+        let pb = PackedPartition::from_partition(&b);
+        let pj = PackedPartition::from_partition(&joined);
+        prop_assert_eq!(pa.is_refinement_of(&pb, &mut scratch), a.refines(&b));
+        prop_assert!(pa.is_refinement_of(&pj, &mut scratch));
+        prop_assert!(pb.is_refinement_of(&pj, &mut scratch));
+        prop_assert_eq!(pj.is_refinement_of(&pa, &mut scratch), joined.refines(&a));
+    }
+
     #[test]
     fn packed_meets_within_agrees_with_intersection_within(
         labels_pi in arb_labels(8),

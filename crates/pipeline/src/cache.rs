@@ -242,8 +242,9 @@ pub fn cacheable(config: &StcConfig) -> bool {
 
 /// A stable fingerprint of the *result-relevant* part of a configuration.
 ///
-/// Worker counts (`jobs`, `solver.jobs`) cannot influence any result, so
-/// they are normalised to zero before hashing: a server restarted with a
+/// Worker counts (`jobs`, `solver.jobs`) and the work-stealing schedule
+/// seed (`solver.steal_seed`) cannot influence any result, so they are
+/// normalised to zero before hashing: a server restarted with a
 /// different `--jobs` still hits entries persisted under the old one (and
 /// two requests differing only in worker counts share an entry).  The
 /// remaining fields are hashed through their canonical `Debug` rendering —
@@ -254,6 +255,7 @@ pub fn config_fingerprint(config: &StcConfig) -> u64 {
     let mut canonical = config.clone();
     canonical.jobs = 0;
     canonical.pipeline.solver.parallel_subtrees = 0;
+    canonical.pipeline.solver.steal_seed = 0;
     fnv1a(format!("{canonical:?}").as_bytes())
 }
 

@@ -64,6 +64,10 @@ pub const CONFIG_KEYS: &[(&str, &str)] = &[
     ("solver.stop_at_lower_bound", "true/false"),
     ("solver.branch_and_bound", "true/false"),
     ("solver.jobs", "threads for parallel subtree exploration"),
+    (
+        "solver.steal_seed",
+        "work-stealing schedule seed (scheduling-only, results identical for any value)",
+    ),
     ("encoding", "binary | gray | one-hot | adjacency-greedy"),
     ("synth.minimize", "true/false"),
     ("bist.patterns", "BIST patterns per self-test session"),
@@ -242,6 +246,7 @@ impl StcConfig {
             "solver.jobs" | "solver.parallel_subtrees" => {
                 p.solver.parallel_subtrees = parse(key, value)?;
             }
+            "solver.steal_seed" => p.solver.steal_seed = parse(key, value)?,
             "encoding" => {
                 p.encoding = match value {
                     "binary" => EncodingStrategy::Binary,

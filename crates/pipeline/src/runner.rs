@@ -147,6 +147,7 @@ impl Default for PipelineConfig {
                 stop_at_lower_bound: true,
                 branch_and_bound: true,
                 parallel_subtrees: 1,
+                steal_seed: 0,
             },
             encoding: EncodingStrategy::Binary,
             synth: SynthOptions::default(),
@@ -231,6 +232,7 @@ mod tests {
                 stop_at_lower_bound: true,
                 branch_and_bound: true,
                 parallel_subtrees: 1,
+                steal_seed: 0,
             },
             patterns_per_session: 32,
             ..PipelineConfig::default()

@@ -85,6 +85,7 @@
 //!         "solver.stop_at_lower_bound", // stop at the proven lower bound
 //!         "solver.branch_and_bound",    // cost-bound pruning
 //!         "solver.jobs",                // parallel subtree exploration
+//!         "solver.steal_seed",          // work-stealing schedule seed (results identical)
 //!         "encoding",                   // binary | gray | one-hot | adjacency-greedy
 //!         "synth.minimize",             // two-level minimisation
 //!         "bist.patterns",              // patterns per self-test session
@@ -272,5 +273,5 @@ pub mod prelude {
     pub use stc_pipeline::{run_corpus, Stage};
     #[allow(deprecated)]
     pub use stc_synth::SolveStage;
-    pub use stc_synth::{solve, Cost, OstrSolver, Realization, SolverConfig};
+    pub use stc_synth::{solve, Cost, OstrSolver, PreparedOstr, Realization, SolverConfig};
 }

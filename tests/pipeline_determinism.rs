@@ -18,6 +18,7 @@ fn test_config() -> PipelineConfig {
             stop_at_lower_bound: true,
             branch_and_bound: true,
             parallel_subtrees: 1,
+            steal_seed: 0,
         },
         patterns_per_session: 32,
         gate_level: GateLevelLimits {
